@@ -1,0 +1,129 @@
+// Ablations of the design choices DESIGN.md calls out, beyond the paper's
+// own figures:
+//  1. the attribute-ordering heuristic of Section 3.2.1 (the paper claims
+//     performance is "relatively insensitive" to the representation, with
+//     cardinality-descending as the suggested heuristic);
+//  2. sorted vs. Algorithm-2-verbatim (insertion) tree construction;
+//  3. per-pruning contribution on a fixed workload (complementing the
+//     Figure 13 sweep).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "core/gordian.h"
+#include "core/prefix_tree.h"
+#include "datagen/baseball_like.h"
+#include "datagen/opic_like.h"
+#include "datagen/tpch_lite.h"
+
+namespace gordian {
+namespace {
+
+double TimeFindKeys(const Table& t, const GordianOptions& o) {
+  Stopwatch w;
+  KeyDiscoveryResult r = FindKeys(t, o);
+  (void)r;
+  return w.ElapsedSeconds();
+}
+
+void OrderingAblation() {
+  bench::Banner("Attribute-ordering heuristic", "Section 3.2.1 ablation");
+  struct Workload {
+    const char* name;
+    Table table;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"OPIC-like 50k x 30", GenerateOpicLike(50000, 30, 181)});
+  workloads.push_back({"fact 100k x 17", GenerateTpchFact(100000, 182)});
+  {
+    auto db = GenerateBaseballLike(1.0, 183);
+    for (NamedTable& nt : db) {
+      if (nt.name == "batting") {
+        workloads.push_back({"batting 24k x 16", std::move(nt.table)});
+      }
+    }
+  }
+
+  bench::SeriesPrinter table({"Workload", "schema order (s)",
+                              "cardinality desc (s)", "cardinality asc (s)",
+                              "random (s)"});
+  for (const Workload& w : workloads) {
+    std::vector<std::string> row = {w.name};
+    for (auto order : {GordianOptions::AttributeOrder::kSchema,
+                       GordianOptions::AttributeOrder::kCardinalityDesc,
+                       GordianOptions::AttributeOrder::kCardinalityAsc,
+                       GordianOptions::AttributeOrder::kRandom}) {
+      GordianOptions o;
+      o.attribute_order = order;
+      o.order_seed = 17;
+      row.push_back(bench::FormatSeconds(TimeFindKeys(w.table, o)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void BuildModeAblation() {
+  bench::Banner("Prefix-tree construction", "sorted vs Algorithm 2 verbatim");
+  bench::SeriesPrinter table(
+      {"Rows", "sorted build (s)", "insertion build (s)"});
+  for (int64_t rows : {10000, 50000, 200000}) {
+    Table t = GenerateOpicLike(rows, 20, 184 + rows);
+    std::vector<int> order(t.num_columns());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    Stopwatch w1;
+    PrefixTree sorted =
+        PrefixTree::Build(t, order, GordianOptions::TreeBuild::kSorted);
+    double s1 = w1.ElapsedSeconds();
+    Stopwatch w2;
+    PrefixTree inserted =
+        PrefixTree::Build(t, order, GordianOptions::TreeBuild::kInsertion);
+    double s2 = w2.ElapsedSeconds();
+    table.AddRow({std::to_string(rows), bench::FormatSeconds(s1),
+                  bench::FormatSeconds(s2)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void PruningContribution() {
+  bench::Banner("Per-pruning contribution", "Section 3.4 ablation");
+  Table t = GenerateOpicLike(30000, 30, 185);
+  struct Config {
+    const char* name;
+    bool singleton, futility, single_entity;
+  };
+  const Config configs[] = {
+      {"all prunings", true, true, true},
+      {"- singleton", false, true, true},
+      {"- futility", true, false, true},
+      {"- single-entity", true, true, false},
+      {"none", false, false, false},
+  };
+  bench::SeriesPrinter table({"Configuration", "time (s)", "nodes visited",
+                              "merges"});
+  for (const Config& c : configs) {
+    GordianOptions o;
+    o.singleton_pruning = c.singleton;
+    o.futility_pruning = c.futility;
+    o.single_entity_pruning = c.single_entity;
+    Stopwatch w;
+    KeyDiscoveryResult r = FindKeys(t, o);
+    table.AddRow({c.name, bench::FormatSeconds(w.ElapsedSeconds()),
+                  std::to_string(r.stats.nodes_visited),
+                  std::to_string(r.stats.merges_performed)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gordian
+
+int main() {
+  gordian::OrderingAblation();
+  gordian::BuildModeAblation();
+  gordian::PruningContribution();
+  return 0;
+}

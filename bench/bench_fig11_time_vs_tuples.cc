@@ -1,0 +1,69 @@
+// Regenerates Figure 11: processing time vs. number of tuples for GORDIAN
+// (all attributes) against the three brute-force variants. The paper's
+// x-axis spans 10k to 1M tuples; brute-force-over-all-attributes is given a
+// time budget so exponential configurations terminate (capped points are
+// marked ">").
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bruteforce/brute_force.h"
+#include "core/gordian.h"
+#include "datagen/opic_like.h"
+
+namespace gordian {
+namespace {
+
+constexpr double kBudgetSeconds = 45.0;
+
+std::string Capped(const BruteForceResult& r) {
+  std::string s = bench::FormatSeconds(r.seconds);
+  return r.truncated ? ">" + s : s;
+}
+
+void Run() {
+  bench::Banner("Time vs #Tuples", "Figure 11");
+  std::printf("Dataset: OPIC-like catalog table, 12 attributes.\n\n");
+
+  const int kAttrs = 12;
+  bench::SeriesPrinter table({"#Tuples", "GORDIAN all-attrs (s)",
+                              "BruteForce all (s)", "BruteForce <=4 (s)",
+                              "BruteForce single (s)"});
+
+  for (int64_t tuples : {10000, 30000, 100000, 300000, 1000000}) {
+    Table t = GenerateOpicLike(tuples, kAttrs, /*seed=*/46 + tuples);
+
+    KeyDiscoveryResult g = FindKeys(t);
+
+    BruteForceOptions all;
+    all.time_budget_seconds = kBudgetSeconds;
+    BruteForceResult bf_all = BruteForceFindKeys(t, all);
+
+    BruteForceOptions up4 = all;
+    up4.max_arity = 4;
+    BruteForceResult bf_up4 = BruteForceFindKeys(t, up4);
+
+    BruteForceOptions single = all;
+    single.max_arity = 1;
+    BruteForceResult bf_single = BruteForceFindKeys(t, single);
+
+    table.AddRow({std::to_string(tuples),
+                  bench::FormatSeconds(g.stats.TotalSeconds()),
+                  Capped(bf_all), Capped(bf_up4), Capped(bf_single)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): GORDIAN tracks the single-attribute "
+      "brute force\nwhile finding ALL composite keys; exhaustive brute force "
+      "is orders of\nmagnitude slower and grows fastest.\n");
+}
+
+}  // namespace
+}  // namespace gordian
+
+int main() {
+  gordian::Run();
+  return 0;
+}

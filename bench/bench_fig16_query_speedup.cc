@@ -1,0 +1,99 @@
+// Regenerates Figure 16: query-execution speedup from indexes recommended
+// by GORDIAN (Section 4.4). A denormalized TPC-H-like fact table (17
+// columns; row count scaled for a laptop run) is profiled, the discovered
+// keys become composite indexes, and a 20-query warehouse workload is timed
+// with and without those indexes.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "core/gordian.h"
+#include "datagen/tpch_lite.h"
+#include "engine/advisor.h"
+#include "engine/executor.h"
+#include "engine/workload.h"
+
+namespace gordian {
+namespace {
+
+constexpr int64_t kRows = 1800000;
+constexpr int kRepetitions = 3;
+
+double TimeQuery(const Table& table, const RowStore& store,
+                 const PlanChoice& plan, const Query& q, QueryResult* out) {
+  double best = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Stopwatch w;
+    *out = Execute(table, store, plan, q);
+    best = std::min(best, w.ElapsedSeconds());
+  }
+  return best;
+}
+
+void Run() {
+  bench::Banner("Effect of GORDIAN on query execution time", "Figure 16");
+  std::printf("Fact table: %lld rows x 17 columns (paper: 1,800,000 x 17).\n",
+              static_cast<long long>(kRows));
+
+  Table fact = GenerateTpchFact(kRows, /*seed=*/16001);
+  RowStore store(fact);
+
+  // GORDIAN proposes the candidate index set. Like the paper we run it on a
+  // sample for speed, then validate: it "required only 2 minutes to discover
+  // the candidate indexes" on 2006 hardware.
+  Stopwatch discovery;
+  GordianOptions opts;
+  opts.sample_rows = 200000;
+  KeyDiscoveryResult keys = FindKeys(fact, opts);
+  ValidateKeys(fact, &keys);
+  // Keep only validated strict keys as index candidates.
+  KeyDiscoveryResult strict;
+  for (const DiscoveredKey& k : keys.keys) {
+    if (k.exact_strength >= 1.0) strict.keys.push_back(k);
+  }
+  std::printf("GORDIAN discovered %zu candidate indexes in %.1f s:\n",
+              strict.keys.size(), discovery.ElapsedSeconds());
+  for (const DiscoveredKey& k : strict.keys) {
+    std::printf("  index on %s\n", fact.schema().Describe(k.attrs).c_str());
+  }
+  std::printf("\n");
+
+  Planner planner = BuildRecommendedIndexes(fact, store, strict);
+
+  bench::SeriesPrinter table({"Query No", "Label", "Plan", "No index (s)",
+                              "With index (s)", "Speedup"});
+  int qno = 0;
+  for (const Query& q : MakeWarehouseWorkload(fact, /*seed=*/16002)) {
+    ++qno;
+    QueryResult scan_result, plan_result;
+    double scan_s = TimeQuery(fact, store, PlanChoice{}, q, &scan_result);
+    PlanChoice plan = planner.Choose(fact, q);
+    double plan_s = TimeQuery(fact, store, plan, q, &plan_result);
+    if (!(scan_result == plan_result)) {
+      std::printf("ERROR: plan mismatch on %s\n", q.label.c_str());
+    }
+    const char* kind = plan.index == nullptr
+                           ? "scan"
+                           : (plan.covering ? "index-only" : "index");
+    table.AddRow({std::to_string(qno), q.label, kind,
+                  bench::FormatSeconds(scan_s), bench::FormatSeconds(plan_s),
+                  bench::FormatRatio(scan_s / plan_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): queries the key indexes can serve speed\n"
+      "up; the broad aggregations they cannot serve stay at ~1x. The\n"
+      "covered range query (paper's query 4) shows the paper's ~6x\n"
+      "index-only effect: reading 2 packed key columns instead of\n"
+      "17-column rows. In-memory point lookups exceed the paper's\n"
+      "disk-bound magnitudes, where every query paid a base I/O cost.\n");
+}
+
+}  // namespace
+}  // namespace gordian
+
+int main() {
+  gordian::Run();
+  return 0;
+}

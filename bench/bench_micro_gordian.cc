@@ -1,0 +1,169 @@
+// google-benchmark micro suite: the hot operations of the GORDIAN core
+// (prefix-tree construction in both modes, node merging, NonKeySet
+// maintenance, attribute-set algebra, distinct counting) plus
+// attribute-ordering ablations of the full pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/random.h"
+#include "core/gordian.h"
+#include "core/non_key_set.h"
+#include "core/prefix_tree.h"
+#include "datagen/opic_like.h"
+#include "datagen/synthetic.h"
+
+namespace gordian {
+namespace {
+
+Table& SharedTable(int64_t rows, int attrs) {
+  static Table t10k = GenerateOpicLike(10000, 16, 901);
+  static Table t50k = GenerateOpicLike(50000, 16, 902);
+  static Table t10k_wide = GenerateOpicLike(10000, 40, 903);
+  if (attrs >= 40) return t10k_wide;
+  return rows >= 50000 ? t50k : t10k;
+}
+
+std::vector<int> SchemaOrder(const Table& t) {
+  std::vector<int> order(t.num_columns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+void BM_PrefixTreeBuildSorted(benchmark::State& state) {
+  Table& t = SharedTable(state.range(0), 16);
+  auto order = SchemaOrder(t);
+  for (auto _ : state) {
+    PrefixTree tree =
+        PrefixTree::Build(t, order, GordianOptions::TreeBuild::kSorted);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_PrefixTreeBuildSorted)->Arg(10000)->Arg(50000);
+
+void BM_PrefixTreeBuildInsertion(benchmark::State& state) {
+  Table& t = SharedTable(state.range(0), 16);
+  auto order = SchemaOrder(t);
+  for (auto _ : state) {
+    PrefixTree tree =
+        PrefixTree::Build(t, order, GordianOptions::TreeBuild::kInsertion);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_PrefixTreeBuildInsertion)->Arg(10000)->Arg(50000);
+
+void BM_MergeRootChildren(benchmark::State& state) {
+  Table& t = SharedTable(10000, 16);
+  auto order = SchemaOrder(t);
+  PrefixTree tree =
+      PrefixTree::Build(t, order, GordianOptions::TreeBuild::kSorted);
+  std::vector<PrefixTree::Node*> children;
+  for (const PrefixTree::Cell& c : tree.root()->cells) {
+    children.push_back(c.child);
+  }
+  for (auto _ : state) {
+    PrefixTree::Node* merged = MergeNodes(tree.pool(), children, nullptr);
+    benchmark::DoNotOptimize(merged);
+    tree.pool().Unref(merged);
+  }
+}
+BENCHMARK(BM_MergeRootChildren);
+
+void BM_NonKeySetInsert(benchmark::State& state) {
+  // A worst-case-ish stream: random incomparable sets.
+  std::vector<AttributeSet> stream;
+  Random rng(77);
+  for (int i = 0; i < 256; ++i) {
+    AttributeSet s;
+    for (int a = 0; a < 32; ++a) {
+      if (rng.Bernoulli(0.3)) s.Set(a);
+    }
+    stream.push_back(s);
+  }
+  for (auto _ : state) {
+    NonKeySet set;
+    for (const AttributeSet& s : stream) set.Insert(s);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_NonKeySetInsert);
+
+void BM_AttributeSetCovers(benchmark::State& state) {
+  std::vector<AttributeSet> sets;
+  Random rng(78);
+  for (int i = 0; i < 1024; ++i) {
+    AttributeSet s;
+    for (int a = 0; a < 66; ++a) {
+      if (rng.Bernoulli(0.4)) s.Set(a);
+    }
+    sets.push_back(s);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    bool c = sets[i % 1024].Covers(sets[(i * 7 + 3) % 1024]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_AttributeSetCovers);
+
+void BM_DistinctCount(benchmark::State& state) {
+  Table& t = SharedTable(50000, 16);
+  AttributeSet attrs{0, 3, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.DistinctCount(attrs));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_DistinctCount);
+
+void BM_FindKeysEndToEnd(benchmark::State& state) {
+  Table& t = SharedTable(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    KeyDiscoveryResult r = FindKeys(t);
+    benchmark::DoNotOptimize(r.keys.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FindKeysEndToEnd)
+    ->Args({10000, 16})
+    ->Args({50000, 16})
+    ->Args({10000, 40});
+
+// Ablation: the attribute-ordering heuristic of Section 3.2.1.
+void BM_FindKeysOrdering(benchmark::State& state) {
+  Table& t = SharedTable(10000, 40);
+  GordianOptions o;
+  switch (state.range(0)) {
+    case 0: o.attribute_order = GordianOptions::AttributeOrder::kSchema; break;
+    case 1:
+      o.attribute_order = GordianOptions::AttributeOrder::kCardinalityDesc;
+      break;
+    case 2:
+      o.attribute_order = GordianOptions::AttributeOrder::kCardinalityAsc;
+      break;
+    default:
+      o.attribute_order = GordianOptions::AttributeOrder::kRandom;
+      o.order_seed = 5;
+      break;
+  }
+  for (auto _ : state) {
+    KeyDiscoveryResult r = FindKeys(t, o);
+    benchmark::DoNotOptimize(r.keys.size());
+  }
+}
+BENCHMARK(BM_FindKeysOrdering)
+    ->Arg(0)  // schema
+    ->Arg(1)  // cardinality desc (paper heuristic)
+    ->Arg(2)  // cardinality asc
+    ->Arg(3);  // random
+
+}  // namespace
+}  // namespace gordian
+
+BENCHMARK_MAIN();

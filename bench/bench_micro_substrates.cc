@@ -1,0 +1,152 @@
+// google-benchmark micro suite for the substrates around the core: table
+// construction and distinct counting, CSV and binary I/O throughput,
+// sampling, the query engine's scan/lookup paths, and foreign-key
+// discovery. Complements bench_micro_gordian (which covers the core).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/foreign_key.h"
+#include "core/gordian.h"
+#include "datagen/tpch_lite.h"
+#include "engine/executor.h"
+#include "engine/index.h"
+#include "engine/row_store.h"
+#include "table/csv.h"
+#include "table/serialize.h"
+
+namespace gordian {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/gordian_bench_") + name;
+}
+
+Table& Fact() {
+  static Table t = GenerateTpchFact(100000, 1001);
+  return t;
+}
+
+void BM_TableBuilderAppend(benchmark::State& state) {
+  const Table& src = Fact();
+  std::vector<std::vector<Value>> rows;
+  for (int64_t r = 0; r < 5000; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < src.num_columns(); ++c) row.push_back(src.value(r, c));
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    TableBuilder b(src.schema());
+    for (const auto& row : rows) b.AddRow(row);
+    Table t = b.Build();
+    benchmark::DoNotOptimize(t.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_TableBuilderAppend);
+
+void BM_DistinctCountSortVsHash(benchmark::State& state) {
+  Table& t = Fact();
+  AttributeSet attrs{1, 2, 4};
+  const bool hash = state.range(0) == 1;
+  for (auto _ : state) {
+    int64_t d = hash ? t.DistinctCountFast(attrs) : t.DistinctCount(attrs);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_DistinctCountSortVsHash)->Arg(0)->Arg(1);
+
+void BM_CsvWriteRead(benchmark::State& state) {
+  Table t = GenerateTpchFact(20000, 1002);
+  std::string path = TempPath("io.csv");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteCsv(t, CsvOptions{}, path).ok());
+    Table back;
+    benchmark::DoNotOptimize(ReadCsv(path, CsvOptions{}, &back).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_CsvWriteRead);
+
+void BM_BinaryWriteRead(benchmark::State& state) {
+  Table t = GenerateTpchFact(20000, 1003);
+  std::string path = TempPath("io.grdt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteTableFile(t, path).ok());
+    Table back;
+    benchmark::DoNotOptimize(ReadTableFile(path, &back).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_BinaryWriteRead);
+
+void BM_SampleRows(benchmark::State& state) {
+  Table& t = Fact();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Table s = t.SampleRows(t.num_rows() / 10, ++seed);
+    benchmark::DoNotOptimize(s.num_rows());
+  }
+}
+BENCHMARK(BM_SampleRows);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Table& t = Fact();
+  RowStore store(t);
+  std::vector<int> cols = {t.schema().Find("f_orderkey"),
+                           t.schema().Find("f_linenumber")};
+  for (auto _ : state) {
+    CompositeIndex idx(t, store, cols);
+    benchmark::DoNotOptimize(idx.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_ScanVsIndexLookup(benchmark::State& state) {
+  Table& t = Fact();
+  static RowStore store(t);
+  static CompositeIndex idx(t, store,
+                            {t.schema().Find("f_orderkey"),
+                             t.schema().Find("f_linenumber")});
+  Query q;
+  q.predicates = {{t.schema().Find("f_orderkey"),
+                   t.code(123, t.schema().Find("f_orderkey"))}};
+  q.projection = {t.schema().Find("f_quantity")};
+  const bool use_index = state.range(0) == 1;
+  for (auto _ : state) {
+    QueryResult r = use_index ? ExecuteWithIndex(t, store, idx, q)
+                              : ExecuteScan(t, store, q);
+    benchmark::DoNotOptimize(r.rows_matched);
+  }
+}
+BENCHMARK(BM_ScanVsIndexLookup)->Arg(0)->Arg(1);
+
+void BM_ForeignKeyDiscovery(benchmark::State& state) {
+  static auto db = GenerateTpchLite(0.002, 1004);
+  static std::vector<ProfiledTable> tables = [] {
+    std::vector<ProfiledTable> out;
+    static std::vector<KeyDiscoveryResult> results;
+    results.reserve(db.size());
+    for (auto& nt : db) {
+      results.push_back(FindKeys(nt.table));
+      out.push_back({nt.name, &nt.table, results.back().KeySets()});
+    }
+    return out;
+  }();
+  ForeignKeyOptions opts;
+  opts.min_distinct_values = 20;
+  for (auto _ : state) {
+    auto fks = DiscoverForeignKeys(tables, opts);
+    benchmark::DoNotOptimize(fks.size());
+  }
+}
+BENCHMARK(BM_ForeignKeyDiscovery);
+
+}  // namespace
+}  // namespace gordian
+
+BENCHMARK_MAIN();

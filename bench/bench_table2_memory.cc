@@ -1,0 +1,58 @@
+// Regenerates Table 2: maximum memory usage of GORDIAN vs. the brute-force
+// variants on the three datasets. Memory is the instrumented footprint of
+// each algorithm's own working structures (prefix tree + merge intermediates
+// + NonKeySet for GORDIAN; the uniqueness hash table for brute force),
+// maximized over the dataset's tables.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bruteforce/brute_force.h"
+#include "core/gordian.h"
+#include "datagen/datasets.h"
+
+namespace gordian {
+namespace {
+
+void Run() {
+  bench::Banner("Maximum memory usage", "Table 2");
+
+  bench::SeriesPrinter table({"Dataset", "GORDIAN (MB)",
+                              "Brute force <=4 attribs (MB)",
+                              "Brute force single attrib (MB)"});
+
+  for (const Dataset& d : MakeAllDatasets(/*scale=*/0.5, /*seed=*/77)) {
+    int64_t gordian_peak = 0, up4_peak = 0, single_peak = 0;
+    for (const NamedTable& t : d.tables) {
+      KeyDiscoveryResult g = FindKeys(t.table);
+      gordian_peak = std::max(gordian_peak, g.stats.peak_memory_bytes);
+
+      BruteForceOptions up4;
+      up4.max_arity = 4;
+      up4.time_budget_seconds = 30;
+      up4_peak = std::max(up4_peak,
+                          BruteForceFindKeys(t.table, up4).peak_memory_bytes);
+
+      BruteForceOptions single;
+      single.max_arity = 1;
+      single_peak = std::max(
+          single_peak, BruteForceFindKeys(t.table, single).peak_memory_bytes);
+    }
+    table.AddRow({d.name, bench::FormatMB(gordian_peak),
+                  bench::FormatMB(up4_peak), bench::FormatMB(single_peak)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): the <=4-attribute brute force needs several\n"
+      "times GORDIAN's memory; GORDIAN stays in the neighborhood of the\n"
+      "single-attribute checker while finding all composite keys.\n");
+}
+
+}  // namespace
+}  // namespace gordian
+
+int main() {
+  gordian::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Empirical check of Theorem 1 (Section 3.8): for uncorrelated generalized
+// Zipfian data, GORDIAN's time should scale as roughly T^(1 + (1+theta)/(d
+// log C)) in the number of entities T — i.e., almost linearly for realistic
+// d and C. The bench sweeps T for several theta values and reports the
+// fitted log-log slope.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/gordian.h"
+#include "datagen/synthetic.h"
+
+namespace gordian {
+namespace {
+
+// Least-squares slope of log(time) against log(T).
+double FittedExponent(const std::vector<double>& ts,
+                      const std::vector<double>& secs) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const int n = static_cast<int>(ts.size());
+  for (int i = 0; i < n; ++i) {
+    double x = std::log(ts[i]);
+    double y = std::log(secs[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+void Run() {
+  bench::Banner("Scaling in the number of entities", "Theorem 1");
+  const int kAttrs = 15;
+  const uint64_t kCardinality = 5000;
+  std::printf("Uncorrelated Zipf data: d=%d attributes, C=%llu distinct "
+              "values per attribute.\n\n",
+              kAttrs, static_cast<unsigned long long>(kCardinality));
+
+  bench::SeriesPrinter table({"theta", "T=20k (s)", "T=40k (s)", "T=80k (s)",
+                              "T=160k (s)", "fitted exponent",
+                              "theory bound"});
+  for (double theta : {0.0, 0.5, 1.0}) {
+    std::vector<double> ts, secs;
+    std::vector<std::string> row = {bench::FormatRatio(theta)};
+    for (int64_t rows : {20000, 40000, 80000, 160000}) {
+      SyntheticSpec spec =
+          UniformSpec(kAttrs, rows, kCardinality, theta, 1700 + rows + theta);
+      spec.ensure_unique_rows = true;
+      Table t;
+      Status s = GenerateSynthetic(spec, &t);
+      if (!s.ok()) {
+        std::printf("generation failed: %s\n", s.ToString().c_str());
+        return;
+      }
+      KeyDiscoveryResult r = FindKeys(t);
+      ts.push_back(static_cast<double>(rows));
+      secs.push_back(std::max(1e-4, r.stats.TotalSeconds()));
+      row.push_back(bench::FormatSeconds(r.stats.TotalSeconds()));
+    }
+    double theory = 1.0 + (1.0 + theta) / (std::log(static_cast<double>(
+                                               kCardinality)) /
+                                           std::log(static_cast<double>(kAttrs)));
+    row.push_back(bench::FormatRatio(FittedExponent(ts, secs)));
+    row.push_back(bench::FormatRatio(theory));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): the measured exponent stays near 1 (almost\n"
+      "linear in T) and below the conservative theoretical bound\n"
+      "1 + (1+theta)/log_d(C).\n");
+}
+
+}  // namespace
+}  // namespace gordian
+
+int main() {
+  gordian::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef GORDIAN_BENCH_HARNESS_H_
+#define GORDIAN_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gordian {
+namespace bench {
+
+// Fixed-width table printer for the experiment harnesses: every bench binary
+// prints the rows/series of the paper table or figure it regenerates.
+class SeriesPrinter {
+ public:
+  explicit SeriesPrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i], '-');
+      if (i + 1 < widths.size()) sep += "-+-";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < widths.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatSeconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+inline std::string FormatMB(int64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / 1e6);
+  return buf;
+}
+
+inline std::string FormatRatio(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", r);
+  return buf;
+}
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s)\n\n", title.c_str(),
+              paper_ref.c_str());
+}
+
+}  // namespace bench
+}  // namespace gordian
+
+#endif  // GORDIAN_BENCH_HARNESS_H_

@@ -1,0 +1,88 @@
+// profile_csv: a command-line data profiler. Loads a CSV file, runs GORDIAN
+// (optionally on a sample), and reports the discovered keys with strength
+// estimates — the workflow a DBA would run against an undocumented table.
+//
+// Usage:
+//   ./build/examples/profile_csv [file.csv] [sample_rows]
+//
+// With no arguments a demo catalog CSV is generated into the working
+// directory and profiled, so the example is runnable out of the box.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/gordian.h"
+#include "core/strength.h"
+#include "datagen/opic_like.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace {
+
+std::string EnsureDemoCsv() {
+  const std::string path = "profile_demo.csv";
+  gordian::Table demo = gordian::GenerateOpicLike(20000, 12, /*seed=*/99);
+  gordian::Status s = gordian::WriteCsv(demo, gordian::CsvOptions{}, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write demo csv: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("no input given; generated demo catalog %s (20000 rows)\n\n",
+              path.c_str());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : EnsureDemoCsv();
+  int64_t sample_rows = argc > 2 ? std::atoll(argv[2]) : 0;
+
+  gordian::Table table;
+  gordian::Status s = gordian::ReadCsv(path, gordian::CsvOptions{}, &table);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %lld rows, %d columns\n", path.c_str(),
+              static_cast<long long>(table.num_rows()), table.num_columns());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::printf("  %-24s %lld distinct\n", table.schema().name(c).c_str(),
+                static_cast<long long>(table.ColumnCardinality(c)));
+  }
+
+  gordian::GordianOptions options;
+  options.sample_rows = sample_rows;
+  gordian::KeyDiscoveryResult result = gordian::FindKeys(table, options);
+
+  if (result.no_keys) {
+    std::printf("\nThe file contains duplicate rows: NO attribute set is a "
+                "key.\n");
+    return 0;
+  }
+  if (result.sampled) {
+    // Sample keys may be approximate; validate against the full file.
+    gordian::ValidateKeys(table, &result);
+    std::printf("\nprofiled a %lld-row sample; keys below are validated "
+                "against the full file\n",
+                static_cast<long long>(sample_rows));
+  }
+
+  std::printf("\ndiscovered keys (%zu):\n", result.keys.size());
+  for (const gordian::DiscoveredKey& k : result.keys) {
+    if (result.sampled) {
+      const char* tag = k.exact_strength >= 1.0 ? "STRICT" : "approx";
+      std::printf("  [%s] %-40s strength=%.4f (estimated >= %.4f)\n", tag,
+                  table.schema().Describe(k.attrs).c_str(), k.exact_strength,
+                  k.estimated_strength);
+    } else {
+      std::printf("  [STRICT] %s\n", table.schema().Describe(k.attrs).c_str());
+    }
+  }
+  std::printf("\ndiscovery took %.3f s (build %.3f, find %.3f, convert %.3f)\n",
+              result.stats.TotalSeconds(), result.stats.build_seconds,
+              result.stats.find_seconds, result.stats.convert_seconds);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// streaming_profile: profile an unbounded stream of entities in bounded
+// memory. The profiler sees each row exactly once (Algorithm 2 is a single
+// pass) and keeps only a reservoir sample, yet still reports every true key
+// of the stream plus strength estimates for the approximate ones — the
+// Section 3.9 story applied to data that never fits in memory.
+//
+// Usage:
+//   ./build/examples/streaming_profile [--rows=2000000] [--reservoir=100000]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/streaming.h"
+#include "datagen/words.h"
+
+int main(int argc, char** argv) {
+  using namespace gordian;
+  Flags flags(argc, argv);
+  const int64_t rows = flags.GetInt("rows", 2000000);
+  const int64_t reservoir = flags.GetInt("reservoir", 100000);
+
+  // An order-event stream: (order_no, line_no) is the composite key,
+  // event_id a surrogate key, everything else descriptive.
+  Schema schema(std::vector<std::string>{
+      "event_id", "order_no", "line_no", "customer", "sku", "qty", "status"});
+  GordianOptions options;
+  options.sample_rows = reservoir;
+  StreamingProfiler profiler(schema, options);
+
+  std::printf("streaming %lld synthetic order events through a %lld-row "
+              "reservoir...\n",
+              static_cast<long long>(rows), static_cast<long long>(reservoir));
+  Stopwatch watch;
+  Random rng(7);
+  int64_t order = 1, line = 1;
+  int64_t lines_in_order = 1 + static_cast<int64_t>(rng.Uniform(7));
+  for (int64_t i = 0; i < rows; ++i) {
+    if (line > lines_in_order) {
+      ++order;
+      line = 1;
+      lines_in_order = 1 + static_cast<int64_t>(rng.Uniform(7));
+    }
+    profiler.AddRow({Value(i + 1), Value(order), Value(line),
+                     Value(SurnameFor(rng.Uniform(5000))),
+                     Value(static_cast<int64_t>(rng.Uniform(20000))),
+                     Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+                     Value(rng.Bernoulli(0.9) ? "shipped" : "returned")});
+    ++line;
+  }
+  double ingest_s = watch.ElapsedSeconds();
+
+  watch.Restart();
+  KeyDiscoveryResult result = profiler.Finish();
+  std::printf("ingest %.2f s, discovery over the reservoir %.2f s\n\n",
+              ingest_s, watch.ElapsedSeconds());
+
+  if (result.no_keys) {
+    std::printf("the sampled rows contain duplicates: no keys\n");
+    return 0;
+  }
+  std::printf("keys of the %s (sorted by estimated strength):\n",
+              result.sampled ? "stream (from the sample)" : "stream");
+  for (const DiscoveredKey& k : result.keys) {
+    std::printf("  %-40s est. strength >= %.4f\n",
+                [&] {
+                  std::string s;
+                  k.attrs.ForEach([&](int a) {
+                    if (!s.empty()) s += ", ";
+                    s += schema.name(a);
+                  });
+                  return "<" + s + ">";
+                }()
+                    .c_str(),
+                k.estimated_strength);
+  }
+  std::printf(
+      "\nnote: true keys of the full stream — here <event_id> and\n"
+      "<order_no, line_no> — are always among the reported keys; extra\n"
+      "entries are sample artifacts whose estimated strength exposes them.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "bruteforce/brute_force.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/hashing.h"
+#include "common/memory_tracker.h"
+#include "common/stopwatch.h"
+
+namespace gordian {
+
+namespace {
+
+// Enumerates all size-k subsets of {0..d-1} in lexicographic order.
+std::vector<std::vector<int>> SubsetsOfSize(int d, int k) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> cols(k);
+  for (int i = 0; i < k; ++i) cols[i] = i;
+  while (true) {
+    out.push_back(cols);
+    int i = k - 1;
+    while (i >= 0 && cols[i] == d - k + i) --i;
+    if (i < 0) return out;
+    ++cols[i];
+    for (int j = i + 1; j < k; ++j) cols[j] = cols[j - 1] + 1;
+  }
+}
+
+AttributeSet ToSet(const std::vector<int>& cols) {
+  AttributeSet s;
+  for (int c : cols) s.Set(c);
+  return s;
+}
+
+// The uniqueness-check state of one candidate during a level scan: a hash
+// set of projected-row fingerprints plus the byte budget it occupies (the
+// materialized distinct projection — fingerprints, buckets, and the
+// projected code tuples a real DISTINCT would hold).
+struct CandidateState {
+  std::vector<int> cols;
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> seen;
+  bool alive = true;
+  int64_t accounted_bytes = 0;
+
+  int64_t CurrentBytes() const {
+    return static_cast<int64_t>(
+        seen.bucket_count() * sizeof(void*) +
+        seen.size() * (sizeof(Fingerprint128) + 2 * sizeof(void*)) +
+        seen.size() * cols.size() * sizeof(uint32_t));
+  }
+};
+
+}  // namespace
+
+BruteForceResult BruteForceFindKeys(const Table& table,
+                                    const BruteForceOptions& options) {
+  BruteForceResult result;
+  Stopwatch watch;
+  const int d = table.num_columns();
+  if (d == 0 || table.num_rows() == 0) return result;
+
+  const int max_arity =
+      options.max_arity > 0 ? std::min(options.max_arity, d) : d;
+
+  // Duplicate-entity check (the analogue of GORDIAN's abort): if the full
+  // attribute set is not unique, nothing is.
+  if (!table.IsUnique(AttributeSet::FirstN(d))) {
+    result.no_keys = true;
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  MemoryTracker memory;
+  const int64_t rows = table.num_rows();
+
+  // Level-synchronous search: one scan of the table per candidate size,
+  // checking every candidate of that size concurrently (one hash table
+  // each). This amortizes data access the way a real implementation would;
+  // a candidate's table is freed the moment a duplicate kills it.
+  for (int k = 1; k <= max_arity && !result.truncated; ++k) {
+    std::vector<CandidateState> level;
+    for (std::vector<int>& cols : SubsetsOfSize(d, k)) {
+      AttributeSet candidate = ToSet(cols);
+      if (options.prune_superkeys) {
+        bool redundant = false;
+        for (const AttributeSet& key : result.keys) {
+          if (candidate.Covers(key)) {
+            redundant = true;
+            break;
+          }
+        }
+        if (redundant) {
+          ++result.candidates_skipped;
+          continue;
+        }
+      }
+      CandidateState state;
+      state.cols = std::move(cols);
+      level.push_back(std::move(state));
+    }
+    result.candidates_checked += static_cast<int64_t>(level.size());
+    if (level.empty()) continue;
+
+    int64_t alive = static_cast<int64_t>(level.size());
+    for (int64_t r = 0; r < rows && alive > 0; ++r) {
+      if ((r & 0xFFF) == 0 && options.time_budget_seconds > 0 &&
+          watch.ElapsedSeconds() > options.time_budget_seconds) {
+        result.truncated = true;
+        break;
+      }
+      for (CandidateState& cand : level) {
+        if (!cand.alive) continue;
+        Fingerprint128 fp;
+        for (int c : cand.cols) fp.Update(table.code(r, c));
+        if (!cand.seen.insert(fp).second) {
+          // Duplicate: not a key. Free its state immediately.
+          cand.alive = false;
+          --alive;
+          memory.Release(cand.accounted_bytes);
+          cand.accounted_bytes = 0;
+          cand.seen = {};
+          continue;
+        }
+        int64_t now = cand.CurrentBytes();
+        memory.Add(now - cand.accounted_bytes);
+        cand.accounted_bytes = now;
+      }
+    }
+    for (CandidateState& cand : level) {
+      if (cand.alive && !result.truncated) {
+        result.keys.push_back(ToSet(cand.cols));
+      }
+      memory.Release(cand.accounted_bytes);
+      cand.accounted_bytes = 0;
+    }
+  }
+
+  if (!options.prune_superkeys) {
+    // Keep only minimal keys, matching GORDIAN's output contract.
+    std::vector<AttributeSet> minimal;
+    for (const AttributeSet& key : result.keys) {
+      bool redundant = false;
+      for (const AttributeSet& other : result.keys) {
+        if (other != key && key.Covers(other)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) minimal.push_back(key);
+    }
+    result.keys = std::move(minimal);
+  }
+  result.peak_memory_bytes = memory.peak_bytes();
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+BruteForceResult BruteForceAll(const Table& table) {
+  return BruteForceFindKeys(table, BruteForceOptions{});
+}
+
+BruteForceResult BruteForceUpTo4(const Table& table) {
+  BruteForceOptions opts;
+  opts.max_arity = 4;
+  return BruteForceFindKeys(table, opts);
+}
+
+BruteForceResult BruteForceSingle(const Table& table) {
+  BruteForceOptions opts;
+  opts.max_arity = 1;
+  return BruteForceFindKeys(table, opts);
+}
+
+}  // namespace gordian

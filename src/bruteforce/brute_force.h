@@ -1,0 +1,55 @@
+#ifndef GORDIAN_BRUTEFORCE_BRUTE_FORCE_H_
+#define GORDIAN_BRUTEFORCE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Configuration for the brute-force comparator of Section 4.2. The paper
+// evaluates three variants: all composite keys, composite keys of at most
+// four attributes, and single-attribute keys only.
+struct BruteForceOptions {
+  // Largest candidate size examined; 0 means "all attributes".
+  int max_arity = 0;
+
+  // Skip candidates that are supersets of an already-found key (such
+  // candidates are keys but redundant). This charitable pruning only helps
+  // the baseline; GORDIAN still dominates it.
+  bool prune_superkeys = true;
+
+  // Abort knob so exponential configurations stay runnable in benchmarks:
+  // when > 0, stop after this many seconds and mark the result truncated.
+  double time_budget_seconds = 0;
+};
+
+struct BruteForceResult {
+  bool no_keys = false;  // duplicate entities
+  std::vector<AttributeSet> keys;  // minimal keys up to max_arity
+  int64_t candidates_checked = 0;
+  int64_t candidates_skipped = 0;
+  int64_t peak_memory_bytes = 0;  // footprint of the uniqueness hash table
+  double seconds = 0;
+  bool truncated = false;  // ran out of time budget
+};
+
+// Level-synchronous exhaustive search: for each candidate size the table is
+// scanned once while every candidate of that size keeps its own
+// distinct-projection hash table; a candidate dies (and frees its state) at
+// its first duplicate, and candidates that survive the scan are keys. This
+// is the classical approach whose exponential CPU/memory cost motivates
+// GORDIAN — memory peaks when many mid-size candidates are alive at once.
+BruteForceResult BruteForceFindKeys(const Table& table,
+                                    const BruteForceOptions& options = {});
+
+// Convenience wrappers matching the paper's three baseline variants.
+BruteForceResult BruteForceAll(const Table& table);
+BruteForceResult BruteForceUpTo4(const Table& table);
+BruteForceResult BruteForceSingle(const Table& table);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_BRUTEFORCE_BRUTE_FORCE_H_

@@ -1,0 +1,38 @@
+#include "common/attribute_set.h"
+
+namespace gordian {
+
+AttributeSet AttributeSet::FirstN(int n) { return Range(0, n); }
+
+AttributeSet AttributeSet::Range(int lo, int hi) {
+  AttributeSet s;
+  for (int i = lo; i < hi; ++i) s.Set(i);
+  return s;
+}
+
+int AttributeSet::First() const {
+  if (words_[0] != 0) return __builtin_ctzll(words_[0]);
+  if (words_[1] != 0) return 64 + __builtin_ctzll(words_[1]);
+  return -1;
+}
+
+int AttributeSet::Next(int attr) const {
+  for (int i = attr + 1; i < kMaxAttributes; ++i) {
+    if (Test(i)) return i;
+  }
+  return -1;
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int a) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(a);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace gordian

@@ -1,0 +1,147 @@
+#ifndef GORDIAN_COMMON_ATTRIBUTE_SET_H_
+#define GORDIAN_COMMON_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace gordian {
+
+// A fixed-width bitmap over attribute (column) positions.
+//
+// GORDIAN represents non-keys and keys as sets of attributes; the paper
+// (Section 3.6) stores them as bitmaps "both for compactness and for
+// efficiency when performing the redundancy test". The widest table in the
+// paper's evaluation has 66 attributes, so two 64-bit words are sufficient;
+// kMaxAttributes bounds every schema this library accepts.
+class AttributeSet {
+ public:
+  static constexpr int kMaxAttributes = 128;
+
+  constexpr AttributeSet() : words_{0, 0} {}
+  AttributeSet(std::initializer_list<int> attrs) : words_{0, 0} {
+    for (int a : attrs) Set(a);
+  }
+
+  // The set {attr}.
+  static AttributeSet Single(int attr) {
+    AttributeSet s;
+    s.Set(attr);
+    return s;
+  }
+
+  // The set {0, 1, ..., n-1}.
+  static AttributeSet FirstN(int n);
+
+  // The set {lo, lo+1, ..., hi-1}.
+  static AttributeSet Range(int lo, int hi);
+
+  void Set(int attr) { words_[Word(attr)] |= Mask(attr); }
+  void Reset(int attr) { words_[Word(attr)] &= ~Mask(attr); }
+  bool Test(int attr) const { return (words_[Word(attr)] & Mask(attr)) != 0; }
+
+  bool Empty() const { return (words_[0] | words_[1]) == 0; }
+  int Count() const {
+    return __builtin_popcountll(words_[0]) + __builtin_popcountll(words_[1]);
+  }
+
+  // True iff this set is a (non-strict) superset of `other`. In the paper's
+  // terminology for non-keys, "this covers other" / "other is redundant to
+  // this".
+  bool Covers(const AttributeSet& other) const {
+    return (other.words_[0] & ~words_[0]) == 0 &&
+           (other.words_[1] & ~words_[1]) == 0;
+  }
+
+  bool Intersects(const AttributeSet& other) const {
+    return (words_[0] & other.words_[0]) != 0 ||
+           (words_[1] & other.words_[1]) != 0;
+  }
+
+  // Index of the lowest set bit, or -1 if empty.
+  int First() const;
+
+  // Index of the lowest set bit strictly greater than `attr`, or -1.
+  int Next(int attr) const;
+
+  friend AttributeSet operator|(AttributeSet a, const AttributeSet& b) {
+    a.words_[0] |= b.words_[0];
+    a.words_[1] |= b.words_[1];
+    return a;
+  }
+  friend AttributeSet operator&(AttributeSet a, const AttributeSet& b) {
+    a.words_[0] &= b.words_[0];
+    a.words_[1] &= b.words_[1];
+    return a;
+  }
+  // Set difference (a minus b).
+  friend AttributeSet operator-(AttributeSet a, const AttributeSet& b) {
+    a.words_[0] &= ~b.words_[0];
+    a.words_[1] &= ~b.words_[1];
+    return a;
+  }
+  AttributeSet& operator|=(const AttributeSet& b) {
+    words_[0] |= b.words_[0];
+    words_[1] |= b.words_[1];
+    return *this;
+  }
+  AttributeSet& operator&=(const AttributeSet& b) {
+    words_[0] &= b.words_[0];
+    words_[1] &= b.words_[1];
+    return *this;
+  }
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b) {
+    return a.words_[0] == b.words_[0] && a.words_[1] == b.words_[1];
+  }
+  friend bool operator!=(const AttributeSet& a, const AttributeSet& b) {
+    return !(a == b);
+  }
+  // Arbitrary-but-total order so AttributeSets can live in sorted containers.
+  friend bool operator<(const AttributeSet& a, const AttributeSet& b) {
+    if (a.words_[1] != b.words_[1]) return a.words_[1] < b.words_[1];
+    return a.words_[0] < b.words_[0];
+  }
+
+  // Calls fn(attr) for each member, in ascending order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (int w = 0; w < 2; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        fn(w * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  size_t Hash() const {
+    // 64-bit mix of both words (splitmix-style finalizer).
+    uint64_t h = words_[0] * 0x9e3779b97f4a7c15ULL ^ (words_[1] + 0x7f4a7c15ULL);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return static_cast<size_t>(h);
+  }
+
+  // "{0,3,7}"-style rendering using attribute positions.
+  std::string ToString() const;
+
+ private:
+  static constexpr int Word(int attr) { return attr >> 6; }
+  static constexpr uint64_t Mask(int attr) {
+    return uint64_t{1} << (attr & 63);
+  }
+
+  uint64_t words_[2];
+};
+
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const { return s.Hash(); }
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_ATTRIBUTE_SET_H_

@@ -1,0 +1,75 @@
+#ifndef GORDIAN_COMMON_FLAGS_H_
+#define GORDIAN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gordian {
+
+// Minimal command-line parsing for the example binaries: "--name=value",
+// "--name value", bare "--switch", and positional arguments, in any order.
+// Unknown flags are collected rather than rejected so callers can report
+// them with their own usage text.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value = "true";
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // "--name value" only when the flag is not a known boolean switch;
+        // callers resolve ambiguity by using "=" for values. Here we take
+        // the conservative route: consume the next token as a value only if
+        // it does not look like a flag.
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback = 0) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback = 0) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback = false) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_FLAGS_H_

@@ -1,0 +1,58 @@
+#ifndef GORDIAN_COMMON_HASHING_H_
+#define GORDIAN_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gordian {
+
+// splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+// FNV-1a over bytes; adequate for dictionary lookups of string values.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+// A 128-bit fingerprint used where hash collisions must be negligible
+// (e.g., distinct-counting of projected rows in the brute-force baseline).
+// The two halves use independent mixes of the same input stream.
+struct Fingerprint128 {
+  uint64_t lo = 0x243f6a8885a308d3ULL;
+  uint64_t hi = 0x13198a2e03707344ULL;
+
+  void Update(uint64_t v) {
+    lo = HashCombine(lo, v);
+    hi = HashCombine(hi, Mix64(v + 0xa4093822299f31d0ULL));
+  }
+
+  friend bool operator==(const Fingerprint128& a, const Fingerprint128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct Fingerprint128Hash {
+  size_t operator()(const Fingerprint128& f) const {
+    return static_cast<size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_HASHING_H_

@@ -1,0 +1,38 @@
+#ifndef GORDIAN_COMMON_MEMORY_TRACKER_H_
+#define GORDIAN_COMMON_MEMORY_TRACKER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gordian {
+
+// Explicit byte accounting for the data structures whose footprint the
+// paper's Table 2 reports. Components register allocations/releases; the
+// tracker keeps the current and peak totals. This is deliberate manual
+// instrumentation (not a malloc hook) so each algorithm reports exactly the
+// memory its own structures use.
+class MemoryTracker {
+ public:
+  void Add(int64_t bytes) {
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+  }
+
+  void Release(int64_t bytes) { current_ -= bytes; }
+
+  int64_t current_bytes() const { return current_; }
+  int64_t peak_bytes() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_MEMORY_TRACKER_H_

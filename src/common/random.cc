@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+namespace {
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed the four state words via splitmix64, the initialization recommended
+  // by the xoshiro authors. A zero state is impossible because Mix64 of
+  // distinct inputs cannot all be zero.
+  for (int i = 0; i < 4; ++i) {
+    seed += 0x9e3779b97f4a7c15ULL;
+    state_[i] = Mix64(seed);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  // theta == 0 is the uniform distribution; skip the O(n) CDF so huge
+  // uniform domains (e.g., surrogate-key pools) cost nothing.
+  if (theta_ == 0.0) return;
+  cdf_.reserve(n_);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -theta_);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint64_t ZipfGenerator::Sample(Random& rng) const {
+  if (theta_ == 0.0) return rng.Uniform(n_);
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace gordian

@@ -1,0 +1,58 @@
+#ifndef GORDIAN_COMMON_RANDOM_H_
+#define GORDIAN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gordian {
+
+// xoshiro256** — a fast, high-quality, reproducible PRNG. All data
+// generation in this library is seeded explicitly so every experiment is
+// deterministic.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform integer in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_[4];
+};
+
+// Samples ranks from a generalized Zipfian distribution over {0, ..., n-1}:
+// P(rank i) proportional to (i+1)^-theta. theta == 0 is uniform. This is the
+// frequency model of the paper's Theorem 1 (Section 3.8, Assumption 1).
+//
+// Sampling uses a precomputed CDF and binary search: O(n) setup,
+// O(log n) per sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Returns a rank in [0, n).
+  uint64_t Sample(Random& rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_RANDOM_H_

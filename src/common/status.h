@@ -1,0 +1,69 @@
+#ifndef GORDIAN_COMMON_STATUS_H_
+#define GORDIAN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gordian {
+
+// Minimal error-reporting type in the RocksDB/Arrow tradition: library code
+// never throws; operations that can fail return a Status (or a value plus a
+// Status through StatusOr-like out parameters).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kOutOfRange,
+    kUnsupported,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kUnsupported: name = "Unsupported"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef GORDIAN_COMMON_STOPWATCH_H_
+#define GORDIAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gordian {
+
+// Wall-clock stopwatch for experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_COMMON_STOPWATCH_H_

@@ -1,0 +1,170 @@
+#include "core/foreign_key.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+namespace {
+
+// Value tuples must be compared across tables, whose dictionaries assign
+// codes independently — so fingerprints are built from the decoded Values.
+Fingerprint128 TupleFingerprint(const Table& t, int64_t row,
+                                const std::vector<int>& cols) {
+  Fingerprint128 fp;
+  for (int c : cols) fp.Update(t.value(row, c).Hash());
+  return fp;
+}
+
+std::vector<int> ToCols(const AttributeSet& attrs) {
+  std::vector<int> cols;
+  attrs.ForEach([&](int a) { cols.push_back(a); });
+  return cols;
+}
+
+// Dominant value type of a column, judged from its dictionary (NULLs are
+// ignored; ties resolve to the first seen).
+ValueType ColumnType(const Table& t, int col) {
+  const Dictionary& d = t.dictionary(col);
+  for (uint32_t code = 0; code < d.size(); ++code) {
+    if (!d.Decode(code).is_null()) return d.Decode(code).type();
+  }
+  return ValueType::kNull;
+}
+
+bool TypesCompatible(const Table& a, const std::vector<int>& a_cols,
+                     const Table& b, const std::vector<int>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (ColumnType(a, a_cols[i]) != ColumnType(b, b_cols[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double InclusionCoverage(const Table& fk_table, const AttributeSet& fk_cols,
+                         const Table& key_table,
+                         const AttributeSet& key_cols) {
+  std::vector<int> fcols = ToCols(fk_cols);
+  std::vector<int> kcols = ToCols(key_cols);
+  if (fcols.size() != kcols.size() || fcols.empty()) return 0;
+
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> key_tuples;
+  key_tuples.reserve(static_cast<size_t>(key_table.num_rows()));
+  for (int64_t r = 0; r < key_table.num_rows(); ++r) {
+    key_tuples.insert(TupleFingerprint(key_table, r, kcols));
+  }
+
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> fk_tuples;
+  int64_t covered = 0;
+  for (int64_t r = 0; r < fk_table.num_rows(); ++r) {
+    Fingerprint128 fp = TupleFingerprint(fk_table, r, fcols);
+    if (fk_tuples.insert(fp).second) {
+      if (key_tuples.count(fp) > 0) ++covered;
+    }
+  }
+  if (fk_tuples.empty()) return 0;
+  return static_cast<double>(covered) / static_cast<double>(fk_tuples.size());
+}
+
+std::vector<ForeignKeyCandidate> DiscoverForeignKeys(
+    const std::vector<ProfiledTable>& tables,
+    const ForeignKeyOptions& options) {
+  std::vector<ForeignKeyCandidate> found;
+
+  for (size_t ki = 0; ki < tables.size(); ++ki) {
+    const ProfiledTable& keyed = tables[ki];
+    for (const AttributeSet& key : keyed.keys) {
+      std::vector<int> kcols = ToCols(key);
+      if (static_cast<int>(kcols.size()) > options.max_arity) continue;
+
+      // Precompute the referenced key's tuple set once per (table, key).
+      std::unordered_set<Fingerprint128, Fingerprint128Hash> key_tuples;
+      key_tuples.reserve(static_cast<size_t>(keyed.table->num_rows()));
+      for (int64_t r = 0; r < keyed.table->num_rows(); ++r) {
+        key_tuples.insert(TupleFingerprint(*keyed.table, r, kcols));
+      }
+
+      for (size_t fi = 0; fi < tables.size(); ++fi) {
+        const ProfiledTable& refing = tables[fi];
+        const Table& ft = *refing.table;
+
+        // Enumerate candidate column tuples of the same arity. For arity 1
+        // this is every column; for arity 2 every ordered pair of distinct
+        // columns (order must match the key's column order semantics).
+        std::vector<std::vector<int>> candidates;
+        if (kcols.size() == 1) {
+          for (int c = 0; c < ft.num_columns(); ++c) candidates.push_back({c});
+        } else if (kcols.size() == 2) {
+          for (int c1 = 0; c1 < ft.num_columns(); ++c1) {
+            for (int c2 = 0; c2 < ft.num_columns(); ++c2) {
+              if (c1 != c2) candidates.push_back({c1, c2});
+            }
+          }
+        } else {
+          continue;  // arity > 2 unsupported by enumeration
+        }
+
+        for (const std::vector<int>& fcols : candidates) {
+          // Exclude the key referencing itself.
+          if (fi == ki && fcols == kcols) continue;
+          if (options.require_type_compatibility &&
+              !TypesCompatible(ft, fcols, *keyed.table, kcols)) {
+            continue;
+          }
+
+          std::unordered_set<Fingerprint128, Fingerprint128Hash> fk_tuples;
+          int64_t covered = 0;
+          bool viable = true;
+          for (int64_t r = 0; r < ft.num_rows(); ++r) {
+            Fingerprint128 fp = TupleFingerprint(ft, r, fcols);
+            if (fk_tuples.insert(fp).second) {
+              if (key_tuples.count(fp) > 0) {
+                ++covered;
+              } else if (options.min_coverage >= 1.0) {
+                viable = false;  // strict inclusion already broken
+                break;
+              }
+            }
+          }
+          if (!viable) continue;
+          if (static_cast<int64_t>(fk_tuples.size()) <
+              options.min_distinct_values) {
+            continue;
+          }
+          double coverage = static_cast<double>(covered) /
+                            static_cast<double>(fk_tuples.size());
+          if (coverage + 1e-12 < options.min_coverage) continue;
+          double referenced_coverage =
+              key_tuples.empty()
+                  ? 0.0
+                  : static_cast<double>(covered) /
+                        static_cast<double>(key_tuples.size());
+          if (referenced_coverage + 1e-12 < options.min_referenced_coverage) {
+            continue;
+          }
+
+          ForeignKeyCandidate cand;
+          cand.referencing_table = static_cast<int>(fi);
+          cand.referenced_table = static_cast<int>(ki);
+          cand.foreign_key_columns = fcols;
+          cand.referenced_key = key;
+          cand.coverage = coverage;
+          cand.referenced_coverage = referenced_coverage;
+          cand.distinct_fk_tuples = static_cast<int64_t>(fk_tuples.size());
+          found.push_back(cand);
+        }
+      }
+    }
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const ForeignKeyCandidate& a,
+                      const ForeignKeyCandidate& b) {
+                     return a.coverage > b.coverage;
+                   });
+  return found;
+}
+
+}  // namespace gordian

@@ -1,0 +1,251 @@
+#include "core/gordian.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/key_conversion.h"
+#include "core/non_key_finder.h"
+#include "core/non_key_set.h"
+#include "core/prefix_tree.h"
+#include "core/strength.h"
+
+namespace gordian {
+
+namespace {
+
+std::vector<int> ComputeAttributeOrder(const Table& table,
+                                       const GordianOptions& options) {
+  const int d = table.num_columns();
+  std::vector<int> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  switch (options.attribute_order) {
+    case GordianOptions::AttributeOrder::kSchema:
+      break;
+    case GordianOptions::AttributeOrder::kCardinalityDesc:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return table.ColumnCardinality(a) > table.ColumnCardinality(b);
+      });
+      break;
+    case GordianOptions::AttributeOrder::kCardinalityAsc:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return table.ColumnCardinality(a) < table.ColumnCardinality(b);
+      });
+      break;
+    case GordianOptions::AttributeOrder::kRandom: {
+      Random rng(options.order_seed);
+      for (int i = d - 1; i > 0; --i) {
+        std::swap(order[i],
+                  order[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+namespace {
+
+// Column positions containing at least one NULL.
+std::vector<int> NullableColumns(const Table& table) {
+  std::vector<int> nullable;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    uint32_t null_code = table.dictionary(c).Lookup(Value::Null());
+    if (null_code == UINT32_MAX) continue;
+    for (uint32_t code : table.column_codes(c)) {
+      if (code == null_code) {
+        nullable.push_back(c);
+        break;
+      }
+    }
+  }
+  return nullable;
+}
+
+}  // namespace
+
+KeyDiscoveryResult FindKeys(const Table& table, const GordianOptions& options) {
+  KeyDiscoveryResult result;
+  const int d = table.num_columns();
+  result.stats.num_attributes = d;
+  if (d == 0) return result;
+
+  // SQL-style null handling: bar nullable columns from the search entirely,
+  // then lift the results of the projection back to original positions.
+  if (options.null_semantics ==
+      GordianOptions::NullSemantics::kExcludeNullableColumns) {
+    std::vector<int> nullable = NullableColumns(table);
+    if (!nullable.empty()) {
+      std::vector<int> kept;
+      size_t ni = 0;
+      for (int c = 0; c < d; ++c) {
+        if (ni < nullable.size() && nullable[ni] == c) {
+          ++ni;
+        } else {
+          kept.push_back(c);
+        }
+      }
+      if (kept.empty()) return result;  // nothing can be a key
+      GordianOptions inner = options;
+      inner.null_semantics = GordianOptions::NullSemantics::kNullEqualsNull;
+      KeyDiscoveryResult projected = FindKeys(table.SelectColumns(kept), inner);
+      auto remap = [&](const AttributeSet& attrs) {
+        AttributeSet out;
+        attrs.ForEach([&](int a) { out.Set(kept[a]); });
+        return out;
+      };
+      for (DiscoveredKey& k : projected.keys) k.attrs = remap(k.attrs);
+      for (AttributeSet& nk : projected.non_keys) nk = remap(nk);
+      projected.stats.num_attributes = d;
+      return projected;
+    }
+  }
+
+  // Optional sampling phase (Section 3.9).
+  const Table* data = &table;
+  Table sample;
+  if (options.sample_rows > 0 && options.sample_rows < table.num_rows()) {
+    sample = table.SampleRows(options.sample_rows, options.sample_seed);
+    data = &sample;
+    result.sampled = true;
+  }
+  result.stats.rows_processed = data->num_rows();
+
+  // Phase 1: compress the dataset into a prefix tree (Algorithm 2).
+  Stopwatch watch;
+  std::vector<int> order = ComputeAttributeOrder(*data, options);
+  PrefixTree tree = PrefixTree::Build(*data, order, options.tree_build);
+  result.stats.build_seconds = watch.ElapsedSeconds();
+  result.stats.base_tree_nodes = tree.node_count();
+  result.stats.base_tree_cells = tree.cell_count();
+
+  if (tree.has_duplicate_entities()) {
+    // Algorithm 2, lines 17-18: a repeated entity means no key exists.
+    result.no_keys = true;
+    result.non_keys.push_back(AttributeSet::FirstN(d));
+    result.stats.peak_memory_bytes = tree.pool().peak_bytes();
+    return result;
+  }
+
+  // Phase 2: discover all non-redundant non-keys (Algorithm 4).
+  watch.Restart();
+  NonKeySet non_key_set(&result.stats);
+  NonKeyFinder finder(tree, options, &non_key_set, &result.stats);
+  result.incomplete = !finder.Run();
+  result.stats.find_seconds = watch.ElapsedSeconds();
+  result.stats.final_non_keys = non_key_set.size();
+  result.non_keys = non_key_set.non_keys();
+  result.stats.peak_memory_bytes =
+      tree.pool().peak_bytes() + non_key_set.ApproxBytes();
+
+  if (result.incomplete) {
+    // A partial non-key set cannot certify keys (a set looks like a key
+    // merely because its covering non-key was never discovered).
+    return result;
+  }
+
+  // Phase 3: convert non-keys to minimal keys (Algorithm 6).
+  watch.Restart();
+  std::vector<AttributeSet> keys = NonKeysToKeys(result.non_keys, d);
+  result.stats.convert_seconds = watch.ElapsedSeconds();
+
+  result.keys.reserve(keys.size());
+  for (const AttributeSet& k : keys) {
+    DiscoveredKey dk;
+    dk.attrs = k;
+    dk.estimated_strength =
+        result.sampled ? EstimatedStrengthLowerBound(*data, k) : 1.0;
+    if (!result.sampled) dk.exact_strength = 1.0;
+    result.keys.push_back(dk);
+  }
+  return result;
+}
+
+void ValidateKeys(const Table& full_table, KeyDiscoveryResult* result) {
+  for (DiscoveredKey& k : result->keys) {
+    // Fingerprint-based distinct counting: validating hundreds of candidate
+    // keys against a large table must not pay a sort per key.
+    k.exact_strength =
+        static_cast<double>(full_table.DistinctCountFast(k.attrs)) /
+        static_cast<double>(std::max<int64_t>(1, full_table.num_rows()));
+  }
+}
+
+VerificationReport VerifyResult(const Table& table,
+                                const KeyDiscoveryResult& result) {
+  VerificationReport report;
+  auto problem = [&](const std::string& msg) {
+    report.ok = false;
+    if (report.problems.size() < 20) report.problems.push_back(msg);
+  };
+
+  if (result.no_keys) {
+    if (table.IsUnique(AttributeSet::FirstN(table.num_columns()))) {
+      problem("result claims no keys exist, but rows are distinct");
+    }
+    return report;
+  }
+
+  for (const DiscoveredKey& key : result.keys) {
+    if (!result.sampled && !table.IsUnique(key.attrs)) {
+      problem("reported key is not unique: " + key.attrs.ToString());
+    }
+    key.attrs.ForEach([&](int a) {
+      AttributeSet smaller = key.attrs;
+      smaller.Reset(a);
+      if (!smaller.Empty() && !result.sampled && table.IsUnique(smaller)) {
+        problem("reported key is not minimal: " + key.attrs.ToString());
+      }
+    });
+  }
+  for (const AttributeSet& nk : result.non_keys) {
+    if (table.IsUnique(nk)) {
+      problem("reported non-key is actually unique: " + nk.ToString());
+    }
+  }
+  for (size_t i = 0; i < result.keys.size(); ++i) {
+    for (size_t j = 0; j < result.keys.size(); ++j) {
+      if (i != j && result.keys[i].attrs.Covers(result.keys[j].attrs)) {
+        problem("key list is not an antichain: " +
+                result.keys[i].attrs.ToString() + " covers " +
+                result.keys[j].attrs.ToString());
+      }
+    }
+  }
+  for (size_t i = 0; i < result.non_keys.size(); ++i) {
+    for (size_t j = 0; j < result.non_keys.size(); ++j) {
+      if (i != j && result.non_keys[i].Covers(result.non_keys[j])) {
+        problem("non-key list is not an antichain");
+      }
+    }
+  }
+  return report;
+}
+
+std::string FormatResult(const Table& table, const KeyDiscoveryResult& result) {
+  std::string out;
+  if (result.no_keys) {
+    return "no keys exist (some entity occurs more than once)\n";
+  }
+  out += "keys (" + std::to_string(result.keys.size()) + "):\n";
+  for (const DiscoveredKey& k : result.keys) {
+    out += "  " + table.schema().Describe(k.attrs);
+    if (result.sampled) {
+      out += "  est-strength>=" + std::to_string(k.estimated_strength);
+    }
+    if (k.exact_strength >= 0) {
+      out += "  strength=" + std::to_string(k.exact_strength);
+    }
+    out += "\n";
+  }
+  out += "non-keys (" + std::to_string(result.non_keys.size()) + "):\n";
+  for (const AttributeSet& nk : result.non_keys) {
+    out += "  " + table.schema().Describe(nk) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gordian

@@ -1,0 +1,28 @@
+#ifndef GORDIAN_CORE_KEY_CONVERSION_H_
+#define GORDIAN_CORE_KEY_CONVERSION_H_
+
+#include <vector>
+
+#include "common/attribute_set.h"
+
+namespace gordian {
+
+// Algorithm 6 (Section 3.7): converts a non-redundant set of non-keys into
+// the non-redundant set of minimal keys by taking the cartesian product of
+// the non-keys' complement sets (with respect to `num_attributes` columns)
+// and pruning redundant (superset) keys on the fly.
+//
+// Special cases follow from the definition:
+//  - no non-keys: every single attribute is a key, so all singletons return;
+//  - some non-key equals the full attribute set: no key exists, returns {}.
+std::vector<AttributeSet> NonKeysToKeys(const std::vector<AttributeSet>& non_keys,
+                                        int num_attributes);
+
+// Removes duplicates and any set that is a strict superset of another,
+// returning the minimal antichain sorted by (cardinality, bit pattern).
+// Exposed for tests and reused by the conversion.
+std::vector<AttributeSet> MinimizeSets(std::vector<AttributeSet> sets);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_KEY_CONVERSION_H_

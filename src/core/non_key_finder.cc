@@ -1,0 +1,141 @@
+#include "core/non_key_finder.h"
+
+#include <cassert>
+
+namespace gordian {
+
+NonKeyFinder::NonKeyFinder(PrefixTree& tree,
+                           const GordianOptions& options, NonKeySet* non_keys,
+                           GordianStats* stats, TraversalObserver* observer)
+    : tree_(tree),
+      options_(options),
+      non_keys_(non_keys),
+      stats_(stats),
+      observer_(observer) {
+  const int depth = tree_.num_levels();
+  suffix_attrs_.assign(depth + 1, AttributeSet());
+  for (int l = depth - 1; l >= 0; --l) {
+    suffix_attrs_[l] = suffix_attrs_[l + 1];
+    suffix_attrs_[l].Set(tree_.attribute_at_level(l));
+  }
+}
+
+bool NonKeyFinder::Run() {
+  if (tree_.root() == nullptr || tree_.num_entities() == 0) return true;
+  budget_watch_.Restart();
+  Visit(tree_.root(), 0);
+  return !aborted_;
+}
+
+bool NonKeyFinder::OverBudget() {
+  if (aborted_) return true;
+  if (options_.max_non_keys > 0 && non_keys_->size() > options_.max_non_keys) {
+    aborted_ = true;
+  }
+  // The wall-clock check is amortized: nodes_visited ticks on every Visit,
+  // so checking every 4096 visits keeps the overhead negligible.
+  if (options_.time_budget_seconds > 0 && stats_ != nullptr &&
+      (stats_->nodes_visited & 0xFFF) == 0 &&
+      budget_watch_.ElapsedSeconds() > options_.time_budget_seconds) {
+    aborted_ = true;
+  }
+  return aborted_;
+}
+
+void NonKeyFinder::ProcessLeaf(PrefixTree::Node* node, int level) {
+  const int attr = tree_.attribute_at_level(level);
+  // Lines 3-8: a duplicate within the current projection (count > 1) makes
+  // curNonKey, including this level's attribute, a non-key.
+  if (observer_ != nullptr) observer_->OnSegment(cur_non_key_);
+  for (const PrefixTree::Cell& cell : node->cells) {
+    if (cell.count != 1) {
+      if (observer_ != nullptr) observer_->OnNonKey(cur_non_key_);
+      non_keys_->Insert(cur_non_key_);
+      break;
+    }
+  }
+  // Lines 9-12: project out the leaf attribute; if the slice then holds
+  // more than one entity (several cells, or one cell with count > 1), the
+  // remaining prefix is a non-key.
+  cur_non_key_.Reset(attr);
+  if (observer_ != nullptr) observer_->OnSegment(cur_non_key_);
+  if (node->cells.size() > 1 ||
+      (node->cells.size() == 1 && node->cells[0].count > 1)) {
+    if (observer_ != nullptr) observer_->OnNonKey(cur_non_key_);
+    non_keys_->Insert(cur_non_key_);
+  }
+}
+
+void NonKeyFinder::Visit(PrefixTree::Node* node, int level) {
+  if (stats_ != nullptr) ++stats_->nodes_visited;
+  if (OverBudget()) return;
+  const int attr = tree_.attribute_at_level(level);
+  assert(!cur_non_key_.Test(attr));
+  cur_non_key_.Set(attr);  // line 1: append attrNo to curNonKey
+
+  if (node->is_leaf) {
+    ProcessLeaf(node, level);  // also removes attr from cur_non_key_
+    return;
+  }
+
+  // Line 14: a slice holding a single entity cannot yield a non-key.
+  if (options_.single_entity_pruning && node->EntityCount() == 1) {
+    if (stats_ != nullptr) ++stats_->single_entity_prunes;
+    if (observer_ != nullptr) observer_->OnPrune("single-entity", level);
+    cur_non_key_.Reset(attr);
+    return;
+  }
+
+  // Lines 17-21: visit children depth-first, skipping shared (previously
+  // traversed) subtrees — singleton pruning, Figure 10(a).
+  for (const PrefixTree::Cell& cell : node->cells) {
+    if (aborted_) break;
+    if (options_.singleton_pruning && cell.child->ref_count > 1) {
+      if (stats_ != nullptr) ++stats_->singleton_traversal_prunes;
+      if (observer_ != nullptr) observer_->OnPrune("singleton", level);
+      continue;
+    }
+    Visit(cell.child, level + 1);
+  }
+
+  cur_non_key_.Reset(attr);  // line 22
+  if (aborted_) return;
+
+  // Lines 23-30: merge the children (projecting out this level's attribute)
+  // and explore the merged tree. A single-cell node's merge would return a
+  // shared tree and so cannot yield non-redundant non-keys — singleton
+  // pruning, Figure 10(b). This skip is written unconditionally into
+  // Algorithm 4 ("if there is more than one cell in root"), so it is not
+  // gated on the pruning toggle: without it, chains of single-cell nodes
+  // would double the traversal at every level (2^d on single-entity paths).
+  if (node->cells.size() <= 1) {
+    if (node->cells.size() == 1) {
+      if (stats_ != nullptr) ++stats_->singleton_merge_prunes;
+      if (observer_ != nullptr) observer_->OnPrune("singleton-merge", level);
+    }
+    return;
+  }
+
+  // Line 24: futility test — the largest non-key the merged subtree could
+  // produce is cur_non_key_ | suffix_attrs_[level + 1]; if an already
+  // discovered non-key covers it, everything below is redundant.
+  if (options_.futility_pruning &&
+      non_keys_->CoversSet(cur_non_key_ | suffix_attrs_[level + 1])) {
+    if (stats_ != nullptr) ++stats_->futility_prunes;
+    if (observer_ != nullptr) observer_->OnPrune("futility", level);
+    return;
+  }
+
+  std::vector<PrefixTree::Node*> children;
+  children.reserve(node->cells.size());
+  for (const PrefixTree::Cell& cell : node->cells) {
+    children.push_back(cell.child);
+  }
+  PrefixTree::NodePool& pool = tree_.pool();
+  PrefixTree::Node* merged = MergeNodes(pool, children, stats_);
+  if (observer_ != nullptr) observer_->OnMerge(level);
+  Visit(merged, level + 1);
+  pool.Unref(merged);  // line 29: discard the merged tree
+}
+
+}  // namespace gordian

@@ -1,0 +1,82 @@
+#ifndef GORDIAN_CORE_NON_KEY_FINDER_H_
+#define GORDIAN_CORE_NON_KEY_FINDER_H_
+
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/stopwatch.h"
+#include "core/non_key_set.h"
+#include "core/options.h"
+#include "core/prefix_tree.h"
+
+namespace gordian {
+
+// Observation hooks into the traversal, for debugging, tracing, and the
+// specification tests that pin the paper's Figure 9 processing order. All
+// callbacks default to no-ops; the finder never depends on them.
+class TraversalObserver {
+ public:
+  virtual ~TraversalObserver() = default;
+
+  // A segment (candidate non-key) of the current slice was examined at the
+  // leaf level — the unit of work Figure 9 orders.
+  virtual void OnSegment(const AttributeSet& /*segment*/) {}
+
+  // A non-key was handed to the NonKeySet (it may still be rejected there
+  // as redundant).
+  virtual void OnNonKey(const AttributeSet& /*non_key*/) {}
+
+  // A merge produced the tree for the next projection at `level`.
+  virtual void OnMerge(int /*level*/) {}
+
+  // A pruning rule fired: "singleton", "singleton-merge", "single-entity",
+  // or "futility".
+  virtual void OnPrune(const char* /*kind*/, int /*level*/) {}
+};
+
+// Algorithm 4: the doubly-recursive depth-first traversal that interleaves
+// the (virtual) cube computation with non-key discovery. The outer recursion
+// explores slices; after all children of a node are visited, its children
+// are merged (projecting out the node's attribute) and the merged tree is
+// explored recursively — so every segment of every slice is examined, in the
+// order shown in the paper's Figure 9, except where pruning applies.
+class NonKeyFinder {
+ public:
+  NonKeyFinder(PrefixTree& tree, const GordianOptions& options,
+               NonKeySet* non_keys, GordianStats* stats,
+               TraversalObserver* observer = nullptr);
+
+  // Runs the traversal, populating the NonKeySet passed at construction.
+  // Returns false if a budget (options.max_non_keys /
+  // options.time_budget_seconds) tripped and the traversal stopped early.
+  bool Run();
+
+ private:
+  void Visit(PrefixTree::Node* node, int level);
+  void ProcessLeaf(PrefixTree::Node* node, int level);
+  bool OverBudget();
+
+  PrefixTree& tree_;
+  const GordianOptions& options_;
+  NonKeySet* non_keys_;
+  GordianStats* stats_;
+  TraversalObserver* observer_;
+
+  // Current candidate non-key (in original column positions), maintained as
+  // attributes are appended/removed along the traversal (curNonKey in the
+  // paper's pseudocode).
+  AttributeSet cur_non_key_;
+
+  // suffix_attrs_[l] = set of original attributes at tree levels >= l; used
+  // by the futility test (the largest non-key a merge at level l-1 could
+  // still produce is cur_non_key_ | suffix_attrs_[l]).
+  std::vector<AttributeSet> suffix_attrs_;
+
+  // Budget state (see GordianOptions): aborted_ unwinds the recursion.
+  Stopwatch budget_watch_;
+  bool aborted_ = false;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_NON_KEY_FINDER_H_

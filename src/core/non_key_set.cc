@@ -1,0 +1,37 @@
+#include "core/non_key_set.h"
+
+#include <algorithm>
+
+namespace gordian {
+
+bool NonKeySet::Insert(const AttributeSet& non_key) {
+  if (stats_ != nullptr) ++stats_->non_key_insert_attempts;
+  // First pass: reject if covered by an existing non-key.
+  for (const AttributeSet& nk : non_keys_) {
+    if (nk.Covers(non_key)) {
+      if (stats_ != nullptr) ++stats_->non_keys_rejected_covered;
+      return false;
+    }
+  }
+  // Second pass: evict members covered by the candidate, then add it.
+  size_t before = non_keys_.size();
+  non_keys_.erase(std::remove_if(non_keys_.begin(), non_keys_.end(),
+                                 [&](const AttributeSet& nk) {
+                                   return non_key.Covers(nk);
+                                 }),
+                  non_keys_.end());
+  if (stats_ != nullptr) {
+    stats_->non_keys_evicted += static_cast<int64_t>(before - non_keys_.size());
+  }
+  non_keys_.push_back(non_key);
+  return true;
+}
+
+bool NonKeySet::CoversSet(const AttributeSet& attrs) const {
+  for (const AttributeSet& nk : non_keys_) {
+    if (nk.Covers(attrs)) return true;
+  }
+  return false;
+}
+
+}  // namespace gordian

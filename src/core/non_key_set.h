@@ -1,0 +1,42 @@
+#ifndef GORDIAN_CORE_NON_KEY_SET_H_
+#define GORDIAN_CORE_NON_KEY_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "core/options.h"
+
+namespace gordian {
+
+// The NonKeySet container of Section 3.6: a non-redundant (antichain) set of
+// non-keys, stored as attribute bitmaps. Insertion follows Algorithm 5: a
+// candidate covered by an existing member is rejected; otherwise members
+// covered by the candidate are evicted and the candidate is added.
+class NonKeySet {
+ public:
+  explicit NonKeySet(GordianStats* stats = nullptr) : stats_(stats) {}
+
+  // Algorithm 5. Returns true if `non_key` was added.
+  bool Insert(const AttributeSet& non_key);
+
+  // True iff some member covers (is a superset of) `attrs`. This is the
+  // futility test: every non-key that is a subset of `attrs` would be
+  // redundant.
+  bool CoversSet(const AttributeSet& attrs) const;
+
+  const std::vector<AttributeSet>& non_keys() const { return non_keys_; }
+  int64_t size() const { return static_cast<int64_t>(non_keys_.size()); }
+
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(non_keys_.capacity() * sizeof(AttributeSet));
+  }
+
+ private:
+  std::vector<AttributeSet> non_keys_;
+  GordianStats* stats_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_NON_KEY_SET_H_

@@ -1,0 +1,246 @@
+#include "core/prefix_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gordian {
+
+PrefixTree::Node* PrefixTree::NodePool::NewNode(bool is_leaf) {
+  Node* n = new Node();
+  n->is_leaf = is_leaf;
+  ++live_nodes_;
+  ++total_nodes_;
+  tracker_.Add(static_cast<int64_t>(sizeof(Node)));
+  return n;
+}
+
+void PrefixTree::NodePool::Unref(Node* n) {
+  assert(n->ref_count > 0);
+  if (--n->ref_count > 0) return;
+  if (!n->is_leaf) {
+    for (const Cell& c : n->cells) Unref(c.child);
+  }
+  tracker_.Release(static_cast<int64_t>(sizeof(Node)) + n->accounted_bytes);
+  --live_nodes_;
+  delete n;
+}
+
+void PrefixTree::NodePool::SyncCellBytes(Node* n) {
+  int64_t bytes =
+      static_cast<int64_t>(n->cells.capacity()) * static_cast<int64_t>(sizeof(Cell));
+  tracker_.Add(bytes - n->accounted_bytes);
+  n->accounted_bytes = bytes;
+}
+
+PrefixTree::~PrefixTree() {
+  if (root_ != nullptr) pool_->Unref(root_);
+}
+
+PrefixTree& PrefixTree::operator=(PrefixTree&& other) noexcept {
+  if (this == &other) return *this;
+  if (root_ != nullptr) pool_->Unref(root_);
+  pool_ = std::move(other.pool_);
+  root_ = other.root_;
+  other.root_ = nullptr;
+  attr_order_ = std::move(other.attr_order_);
+  num_entities_ = other.num_entities_;
+  has_duplicate_entities_ = other.has_duplicate_entities_;
+  return *this;
+}
+
+PrefixTree PrefixTree::Build(const Table& table,
+                             const std::vector<int>& attr_order,
+                             GordianOptions::TreeBuild mode) {
+  assert(!attr_order.empty());
+  if (mode == GordianOptions::TreeBuild::kInsertion) {
+    return BuildInsertion(table, attr_order);
+  }
+  return BuildSorted(table, attr_order);
+}
+
+PrefixTree PrefixTree::BuildSorted(const Table& table,
+                                   const std::vector<int>& attr_order) {
+  PrefixTree tree;
+  tree.attr_order_ = attr_order;
+  tree.num_entities_ = table.num_rows();
+  const int depth = static_cast<int>(attr_order.size());
+
+  // Sort row ids lexicographically by the reordered attribute codes; the
+  // tree is then built append-only, one root-to-leaf path at a time.
+  std::vector<int64_t> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), int64_t{0});
+  std::sort(rows.begin(), rows.end(), [&](int64_t a, int64_t b) {
+    for (int c : attr_order) {
+      uint32_t ca = table.code(a, c), cb = table.code(b, c);
+      if (ca != cb) return ca < cb;
+    }
+    return false;
+  });
+
+  NodePool& pool = *tree.pool_;
+  tree.root_ = pool.NewNode(depth == 1);
+  // stack[l] = node currently open at level l.
+  std::vector<Node*> stack(depth, nullptr);
+  stack[0] = tree.root_;
+
+  int64_t prev_row = -1;
+  for (int64_t r : rows) {
+    // Longest common prefix with the previous row decides where to branch.
+    int branch = 0;
+    if (prev_row >= 0) {
+      while (branch < depth &&
+             table.code(r, attr_order[branch]) ==
+                 table.code(prev_row, attr_order[branch])) {
+        ++branch;
+      }
+    }
+    if (branch == depth) {
+      // Entire entity equals the previous one: bump the leaf multiplicity.
+      // Per Algorithm 2 this means the dataset has no keys at all.
+      tree.has_duplicate_entities_ = true;
+      Node* leaf = stack[depth - 1];
+      ++leaf->cells.back().count;
+      // Propagate subtree counts up the open path.
+      for (int l = 0; l + 1 < depth; ++l) ++stack[l]->cells.back().count;
+      prev_row = r;
+      continue;
+    }
+    // Account the cells of the nodes we are abandoning below the branch
+    // point (their vectors will not grow again).
+    if (prev_row >= 0) {
+      for (int l = depth - 1; l > branch; --l) pool.SyncCellBytes(stack[l]);
+    }
+    // Add one cell per level from the branch point down, creating the child
+    // node chain.
+    for (int l = branch; l < depth; ++l) {
+      Node* node = stack[l];
+      Cell cell;
+      cell.code = table.code(r, attr_order[l]);
+      cell.count = 1;
+      cell.child = nullptr;
+      if (l + 1 < depth) {
+        cell.child = pool.NewNode(l + 1 == depth - 1);
+        stack[l + 1] = cell.child;
+      }
+      node->cells.push_back(cell);
+    }
+    // Bump the subtree counts of the reused prefix path.
+    for (int l = 0; l < branch; ++l) ++stack[l]->cells.back().count;
+    prev_row = r;
+  }
+  for (int l = 0; l < depth; ++l) {
+    if (stack[l] != nullptr) pool.SyncCellBytes(stack[l]);
+  }
+  return tree;
+}
+
+PrefixTree PrefixTree::BuildInsertion(const Table& table,
+                                      const std::vector<int>& attr_order) {
+  // Algorithm 2 verbatim: a single pass over the entities, descending from
+  // the root and creating cells as needed. Cells are kept sorted by code so
+  // the resulting tree is structurally identical to the sorted build.
+  PrefixTree tree;
+  tree.attr_order_ = attr_order;
+  tree.num_entities_ = table.num_rows();
+  const int depth = static_cast<int>(attr_order.size());
+  NodePool& pool = *tree.pool_;
+  tree.root_ = pool.NewNode(depth == 1);
+
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    Node* node = tree.root_;
+    for (int l = 0; l < depth; ++l) {
+      uint32_t code = table.code(r, attr_order[l]);
+      auto it = std::lower_bound(
+          node->cells.begin(), node->cells.end(), code,
+          [](const Cell& c, uint32_t v) { return c.code < v; });
+      if (it == node->cells.end() || it->code != code) {
+        Cell cell;
+        cell.code = code;
+        cell.count = 0;
+        cell.child =
+            (l + 1 < depth) ? pool.NewNode(l + 1 == depth - 1) : nullptr;
+        it = node->cells.insert(it, cell);
+        pool.SyncCellBytes(node);
+      }
+      ++it->count;
+      if (l == depth - 1) {
+        if (it->count > 1) tree.has_duplicate_entities_ = true;
+      } else {
+        node = it->child;
+      }
+    }
+  }
+  return tree;
+}
+
+int64_t PrefixTree::node_count() const { return pool_->live_nodes(); }
+
+int64_t PrefixTree::cell_count() const {
+  // Walk the tree; with ref counts all 1 in a freshly built tree this visits
+  // each node once.
+  int64_t cells = 0;
+  std::vector<const Node*> pending = {root_};
+  while (!pending.empty()) {
+    const Node* n = pending.back();
+    pending.pop_back();
+    if (n == nullptr) continue;
+    cells += static_cast<int64_t>(n->cells.size());
+    if (!n->is_leaf) {
+      for (const Cell& c : n->cells) pending.push_back(c.child);
+    }
+  }
+  return cells;
+}
+
+PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
+                             const std::vector<PrefixTree::Node*>& to_merge,
+                             GordianStats* stats) {
+  assert(!to_merge.empty());
+  if (stats != nullptr) ++stats->merges_performed;
+  if (to_merge.size() == 1) {
+    // Algorithm 3, lines 1-2: nothing to merge; share the node.
+    pool.AddRef(to_merge[0]);
+    return to_merge[0];
+  }
+  const bool leaf = to_merge[0]->is_leaf;
+  PrefixTree::Node* merged = pool.NewNode(leaf);
+  if (stats != nullptr) ++stats->merge_nodes_created;
+
+  // Gather every input cell and sort by code: O(N log N) in the total cell
+  // count, independent of the fan-in (a naive k-way scan would cost O(k)
+  // per output cell, which is quadratic when a node with thousands of cells
+  // is merged).
+  std::vector<const PrefixTree::Cell*> gathered;
+  size_t total = 0;
+  for (const PrefixTree::Node* n : to_merge) total += n->cells.size();
+  gathered.reserve(total);
+  for (const PrefixTree::Node* n : to_merge) {
+    for (const PrefixTree::Cell& c : n->cells) gathered.push_back(&c);
+  }
+  std::sort(gathered.begin(), gathered.end(),
+            [](const PrefixTree::Cell* a, const PrefixTree::Cell* b) {
+              return a->code < b->code;
+            });
+
+  std::vector<PrefixTree::Node*> partial;
+  size_t i = 0;
+  while (i < gathered.size()) {
+    const uint32_t code = gathered[i]->code;
+    PrefixTree::Cell cell;
+    cell.code = code;
+    cell.count = 0;
+    cell.child = nullptr;
+    partial.clear();
+    for (; i < gathered.size() && gathered[i]->code == code; ++i) {
+      cell.count += gathered[i]->count;
+      if (!leaf) partial.push_back(gathered[i]->child);
+    }
+    if (!leaf) cell.child = MergeNodes(pool, partial, stats);
+    merged->cells.push_back(cell);
+  }
+  pool.SyncCellBytes(merged);
+  return merged;
+}
+
+}  // namespace gordian

@@ -1,0 +1,129 @@
+#ifndef GORDIAN_CORE_PREFIX_TREE_H_
+#define GORDIAN_CORE_PREFIX_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "core/options.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// The compressed dataset representation of Section 3.2: one tree level per
+// attribute, one cell per distinct value within a node, shared prefixes
+// stored once. Leaf cells carry the multiplicity of the full entity; every
+// cell carries the total entity count of its subtree (used by the
+// single-entity prune).
+//
+// Nodes are reference counted (Section 3.3: "a reference-counting scheme was
+// used") because merge results share untouched subtrees with the trees they
+// were merged from. A node with ref_count > 1 is a "shared prefix tree" in
+// the sense of the singleton-pruning rule.
+class PrefixTree {
+ public:
+  struct Node;
+
+  struct Cell {
+    uint32_t code;   // dictionary code of the value at this level
+    int64_t count;   // entities below this cell (leaf: multiplicity)
+    Node* child;     // nullptr at the leaf level
+  };
+
+  struct Node {
+    std::vector<Cell> cells;  // sorted by code, strictly increasing
+    int64_t accounted_bytes = 0;  // maintained by NodePool::SyncCellBytes
+    int32_t ref_count = 1;
+    bool is_leaf = false;
+
+    int64_t EntityCount() const {
+      int64_t total = 0;
+      for (const Cell& c : cells) total += c.count;
+      return total;
+    }
+  };
+
+  // Allocates, frees, and byte-accounts nodes. All merge intermediates flow
+  // through the same pool as the base tree, so peak_bytes is the honest
+  // maximum footprint of the whole tree phase.
+  class NodePool {
+   public:
+    Node* NewNode(bool is_leaf);
+
+    void AddRef(Node* n) { ++n->ref_count; }
+
+    // Drops one reference; frees the node (and recursively unrefs its
+    // children) when the count reaches zero.
+    void Unref(Node* n);
+
+    // Call after appending cells to `n` so capacity growth is accounted.
+    void SyncCellBytes(Node* n);
+
+    int64_t live_nodes() const { return live_nodes_; }
+    int64_t total_nodes_created() const { return total_nodes_; }
+    int64_t current_bytes() const { return tracker_.current_bytes(); }
+    int64_t peak_bytes() const { return tracker_.peak_bytes(); }
+
+   private:
+    MemoryTracker tracker_;
+    int64_t live_nodes_ = 0;
+    int64_t total_nodes_ = 0;
+  };
+
+  PrefixTree() = default;
+  ~PrefixTree();
+
+  PrefixTree(const PrefixTree&) = delete;
+  PrefixTree& operator=(const PrefixTree&) = delete;
+  PrefixTree(PrefixTree&& other) noexcept { *this = std::move(other); }
+  PrefixTree& operator=(PrefixTree&& other) noexcept;
+
+  // Builds the prefix tree for `table` with tree level i holding the column
+  // `attr_order[i]`. `attr_order` must be a permutation of the column
+  // positions. Detects duplicate entities (Algorithm 2, lines 17-18): when
+  // present, has_duplicate_entities() is true and the dataset has no keys.
+  static PrefixTree Build(const Table& table, const std::vector<int>& attr_order,
+                          GordianOptions::TreeBuild mode);
+
+  Node* root() const { return root_; }
+  NodePool& pool() { return *pool_; }
+  int num_levels() const { return static_cast<int>(attr_order_.size()); }
+  // Original column position of tree level `level`.
+  int attribute_at_level(int level) const { return attr_order_[level]; }
+  const std::vector<int>& attr_order() const { return attr_order_; }
+
+  bool has_duplicate_entities() const { return has_duplicate_entities_; }
+
+  int64_t num_entities() const { return num_entities_; }
+  int64_t node_count() const;
+  int64_t cell_count() const;
+
+ private:
+  static PrefixTree BuildSorted(const Table& table,
+                                const std::vector<int>& attr_order);
+  static PrefixTree BuildInsertion(const Table& table,
+                                   const std::vector<int>& attr_order);
+
+  std::unique_ptr<NodePool> pool_ = std::make_unique<NodePool>();
+  Node* root_ = nullptr;
+  std::vector<int> attr_order_;
+  int64_t num_entities_ = 0;
+  bool has_duplicate_entities_ = false;
+};
+
+// Algorithm 3: merges a set of same-level nodes into one node whose cells
+// hold the union of the input values; equal-value children are merged
+// recursively; equal-value leaf counts are summed. A single-node input is
+// returned directly with an extra reference (node sharing). The caller owns
+// one reference to the result and must Unref it when done.
+//
+// `merges_performed` / `merge_nodes_created` counters are incremented when a
+// stats pointer is supplied.
+PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
+                             const std::vector<PrefixTree::Node*>& to_merge,
+                             GordianStats* stats);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_PREFIX_TREE_H_

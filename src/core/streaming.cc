@@ -1,0 +1,115 @@
+#include "core/streaming.h"
+
+#include "core/strength.h"
+
+#include <fstream>
+#include <memory>
+
+#include <utility>
+
+namespace gordian {
+
+StreamingProfiler::StreamingProfiler(Schema schema, GordianOptions options)
+    : options_(std::move(options)),
+      schema_(schema),
+      builder_(schema),
+      reservoir_capacity_(options_.sample_rows),
+      rng_(options_.sample_seed) {
+  if (reservoir_capacity_ > 0) {
+    reservoir_.reserve(static_cast<size_t>(reservoir_capacity_));
+  }
+}
+
+void StreamingProfiler::AddRow(const std::vector<Value>& row) {
+  ++rows_seen_;
+  if (reservoir_capacity_ <= 0) {
+    builder_.AddRow(row);
+    return;
+  }
+  // Vitter's Algorithm R: keep the first k rows, then replace a random
+  // reservoir slot with probability k / rows_seen.
+  if (static_cast<int64_t>(reservoir_.size()) < reservoir_capacity_) {
+    reservoir_.push_back(row);
+    return;
+  }
+  int64_t j = static_cast<int64_t>(
+      rng_.Uniform(static_cast<uint64_t>(rows_seen_)));
+  if (j < reservoir_capacity_) {
+    reservoir_[static_cast<size_t>(j)] = row;
+  }
+}
+
+KeyDiscoveryResult StreamingProfiler::Finish() {
+  if (reservoir_capacity_ > 0) {
+    for (const auto& row : reservoir_) builder_.AddRow(row);
+  }
+  Table data = builder_.Build();
+
+  // Discovery itself must not sample again: the reservoir already did.
+  GordianOptions discovery = options_;
+  discovery.sample_rows = 0;
+  KeyDiscoveryResult result = FindKeys(data, discovery);
+  // Mark sampled runs so callers know keys carry estimates, and compute the
+  // estimates the facade would have attached.
+  if (reservoir_capacity_ > 0 && rows_seen_ > reservoir_capacity_) {
+    result.sampled = true;
+    for (DiscoveredKey& k : result.keys) {
+      k.estimated_strength = EstimatedStrengthLowerBound(data, k.attrs);
+      k.exact_strength = -1.0;  // unknown: the full stream is gone
+    }
+  }
+
+  // Reset for reuse.
+  builder_ = TableBuilder(schema_);
+  reservoir_.clear();
+  rows_seen_ = 0;
+  return result;
+}
+
+Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
+                      const GordianOptions& options, KeyDiscoveryResult* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string line;
+  std::vector<std::string> fields;
+  std::unique_ptr<StreamingProfiler> profiler;
+  int num_cols = -1;
+  std::vector<Value> row;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    Status s = SplitCsvRecord(line, csv_options.delimiter, &fields);
+    if (!s.ok()) return s;
+    if (num_cols < 0) {
+      num_cols = static_cast<int>(fields.size());
+      std::vector<std::string> names;
+      if (csv_options.has_header) {
+        names = fields;
+      } else {
+        for (int i = 0; i < num_cols; ++i) {
+          names.push_back("c" + std::to_string(i));
+        }
+      }
+      profiler = std::make_unique<StreamingProfiler>(Schema(names), options);
+      if (csv_options.has_header) continue;
+    }
+    if (static_cast<int>(fields.size()) != num_cols) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": ragged record");
+    }
+    row.clear();
+    for (const std::string& f : fields) {
+      row.push_back(ParseCsvField(f, csv_options.infer_types));
+    }
+    profiler->AddRow(row);
+  }
+  if (profiler == nullptr) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  *out = profiler->Finish();
+  return Status::OK();
+}
+
+}  // namespace gordian

@@ -1,0 +1,67 @@
+#ifndef GORDIAN_CORE_STREAMING_H_
+#define GORDIAN_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/gordian.h"
+#include "core/options.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Single-pass, row-at-a-time profiling. Algorithm 2 needs only one pass
+// over the entities, so a profiler can sit on a stream (a cursor, a pipe, a
+// log tail) without materializing the source twice:
+//
+//   StreamingProfiler profiler(schema, options);
+//   while (source.Next(&row)) profiler.AddRow(row);
+//   KeyDiscoveryResult result = profiler.Finish();
+//
+// Two ingestion modes:
+//  - full (options.sample_rows == 0): every row is retained (in the
+//    dictionary-encoded Table representation, not the raw input);
+//  - reservoir (options.sample_rows == k > 0): a uniform k-row sample of
+//    the stream is maintained with Vitter's Algorithm R, so arbitrarily
+//    long streams profile in O(k) memory — the streaming face of the
+//    paper's Section 3.9 sampling mode.
+//
+// Duplicate full entities are detected at Finish() (the no_keys abort).
+class StreamingProfiler {
+ public:
+  StreamingProfiler(Schema schema, GordianOptions options = {});
+
+  // Appends one entity from the stream.
+  void AddRow(const std::vector<Value>& row);
+
+  int64_t rows_seen() const { return rows_seen_; }
+
+  // Runs discovery over the ingested (or reservoir-sampled) rows and
+  // returns the result; the profiler is left empty and reusable.
+  KeyDiscoveryResult Finish();
+
+ private:
+  GordianOptions options_;
+  Schema schema_;
+  TableBuilder builder_;
+  int64_t rows_seen_ = 0;
+
+  // Reservoir state (active when options_.sample_rows > 0).
+  int64_t reservoir_capacity_ = 0;
+  std::vector<std::vector<Value>> reservoir_;
+  Random rng_;
+};
+
+// Profiles a CSV file through a StreamingProfiler without materializing the
+// whole file: with options.sample_rows = k, a file of any size profiles in
+// O(k) memory. Returns the discovery result.
+Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
+                      const GordianOptions& options, KeyDiscoveryResult* out);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_STREAMING_H_

@@ -1,0 +1,21 @@
+#include "core/strength.h"
+
+namespace gordian {
+
+double ExactStrength(const Table& table, const AttributeSet& attrs) {
+  return table.Strength(attrs);
+}
+
+double EstimatedStrengthLowerBound(const Table& sample,
+                                   const AttributeSet& attrs) {
+  const double n = static_cast<double>(sample.num_rows());
+  if (n == 0) return 0.0;
+  double prod = 1.0;
+  attrs.ForEach([&](int a) {
+    const double dv = static_cast<double>(sample.ColumnCardinality(a));
+    prod *= (n - dv + 1.0) / (n + 2.0);
+  });
+  return 1.0 - prod;
+}
+
+}  // namespace gordian

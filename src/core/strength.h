@@ -1,0 +1,27 @@
+#ifndef GORDIAN_CORE_STRENGTH_H_
+#define GORDIAN_CORE_STRENGTH_H_
+
+#include "common/attribute_set.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Strength of an attribute set (Section 3.9): the number of distinct
+// projected values divided by the number of entities. A true key has
+// strength 1; a set discovered from a sample but not a key of the full data
+// is an approximate key when its strength is close to 1.
+double ExactStrength(const Table& table, const AttributeSet& attrs);
+
+// The sample-based lower bound T(K) of Section 3.9:
+//   T(K) = 1 - prod_{v in K} (N - D_v + 1) / (N + 2)
+// where N is the sample size and D_v the number of distinct values of
+// attribute v in the sample. With fairly high probability this is a
+// reasonably tight lower bound on the strength of a key discovered from the
+// sample (derived via an approximate Bayesian argument akin to Laplace's
+// rule of succession).
+double EstimatedStrengthLowerBound(const Table& sample,
+                                   const AttributeSet& attrs);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_CORE_STRENGTH_H_

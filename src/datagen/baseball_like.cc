@@ -1,0 +1,307 @@
+#include "datagen/baseball_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+#include "common/random.h"
+#include "datagen/words.h"
+
+namespace gordian {
+
+namespace {
+
+constexpr int kYears = 20;       // seasons 1986..2005
+constexpr int kFirstYear = 1986;
+
+const char* const kPositions[] = {"P",  "C",  "1B", "2B", "3B",
+                                  "SS", "LF", "CF", "RF", "DH"};
+const char* const kHands[] = {"L", "R", "S"};
+const char* const kAwards[] = {"MVP",           "Best Pitcher",
+                               "Rookie of Year", "Gold Glove",
+                               "Batting Champion", "Most Steals",
+                               "Best Reliever",  "Sportsmanship"};
+const char* const kDivisions[] = {"North", "South", "East", "West"};
+
+struct Dims {
+  int64_t players;
+  int64_t teams;
+  int64_t games_per_season;
+};
+
+}  // namespace
+
+std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
+  Random rng(seed);
+  Dims dims;
+  dims.players = std::max<int64_t>(50, std::llround(4000 * scale));
+  dims.teams = std::max<int64_t>(4, std::llround(24 * scale));
+  dims.games_per_season = std::max<int64_t>(10, std::llround(600 * scale));
+
+  std::vector<NamedTable> db;
+
+  // players: surrogate key + denormalized name columns (first+last+dob is
+  // only *almost* unique — real rosters have collisions, so the natural
+  // composite key needs the debut year too).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "player_id", "first_name", "last_name", "birth_year", "birth_city",
+        "country", "bats", "throws", "height_cm", "weight_kg", "debut_year",
+        "final_year", "position", "college", "draft_round", "nickname"}));
+    for (int64_t p = 0; p < dims.players; ++p) {
+      int64_t debut = kFirstYear + rng.UniformRange(0, kYears - 2);
+      b.AddRow({Value(p + 1), Value(GivenNameFor(Mix64(p) % 400)),
+                Value(SurnameFor(Mix64(p ^ 0xbbULL) % 2000)),
+                Value(debut - rng.UniformRange(18, 32)),
+                Value(CityFor(Mix64(p ^ 0x77ULL) % 300)),
+                Value(rng.Bernoulli(0.8) ? "Australia" : "New Zealand"),
+                Value(kHands[rng.UniformRange(0, 2)]),
+                Value(kHands[rng.UniformRange(0, 1)]),
+                Value(rng.UniformRange(165, 205)),
+                Value(rng.UniformRange(65, 115)), Value(debut),
+                Value(debut + rng.UniformRange(0, 15)),
+                Value(kPositions[rng.UniformRange(0, 9)]),
+                Value(CityFor(Mix64(p ^ 0x31ULL) % 60) + " College"),
+                Value(rng.UniformRange(1, 30)),
+                Value(GivenNameFor(Mix64(p ^ 0x99ULL) % 150))});
+    }
+    db.push_back({"players", b.Build()});
+  }
+
+  // teams: (team_id) key; (season, name) also unique.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "team_id", "season", "name", "city", "division", "wins", "losses",
+        "attendance", "manager_id", "stadium"}));
+    int64_t id = 1;
+    for (int y = 0; y < kYears; ++y) {
+      for (int64_t t = 0; t < dims.teams; ++t) {
+        int64_t wins = rng.UniformRange(30, 110);
+        b.AddRow({Value(id++), Value(int64_t{kFirstYear + y}),
+                  Value(CityFor(t * 7 % 200) + " " +
+                        SurnameFor(Mix64(t) % 500) + "s"),
+                  Value(CityFor(t * 7 % 200)),
+                  Value(kDivisions[t % 4]), Value(wins),
+                  Value(140 - wins > 0 ? 140 - wins : 30),
+                  Value(rng.UniformRange(100000, 2500000)),
+                  Value(rng.UniformRange(1, dims.players)),
+                  Value(CityFor(Mix64(t ^ 0x5fULL) % 200) + " Park")});
+      }
+    }
+    db.push_back({"teams", b.Build()});
+  }
+
+  const int64_t team_seasons = kYears * dims.teams;
+
+  // rosters: composite key (season, team_id, player_id).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "season", "team_id", "player_id", "jersey_no", "salary",
+        "starter_flag"}));
+    for (int y = 0; y < kYears; ++y) {
+      for (int64_t t = 0; t < dims.teams; ++t) {
+        int64_t roster = std::min<int64_t>(dims.players, 25);
+        for (int64_t s = 0; s < roster; ++s) {
+          int64_t player =
+              1 + Mix64(seed + y * 131 + t * 17 + s) % dims.players;
+          b.AddRow({Value(int64_t{kFirstYear + y}),
+                    Value(y * dims.teams + t + 1), Value(player),
+                    Value(rng.UniformRange(0, 99)),
+                    Value(rng.UniformRange(40000, 900000) / 100 * 100),
+                    Value(rng.Bernoulli(0.4) ? int64_t{1} : int64_t{0})});
+        }
+      }
+    }
+    db.push_back({"rosters", b.Build()});
+  }
+
+  // batting: the classic (player_id, season, stint) composite key.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "player_id", "season", "stint", "team_id", "games", "at_bats",
+        "runs", "hits", "doubles", "triples", "home_runs", "rbi", "steals",
+        "walks", "strikeouts", "avg_x1000"}));
+    for (int64_t p = 0; p < dims.players; ++p) {
+      int seasons = 1 + static_cast<int>(rng.Uniform(10));
+      for (int s = 0; s < seasons; ++s) {
+        int year = static_cast<int>(rng.Uniform(kYears));
+        int stints = rng.Bernoulli(0.12) ? 2 : 1;
+        for (int st = 1; st <= stints; ++st) {
+          int64_t ab = rng.UniformRange(20, 550);
+          int64_t hits = rng.UniformRange(0, ab / 3);
+          b.AddRow({Value(p + 1), Value(int64_t{kFirstYear + year}),
+                    Value(int64_t{st}),
+                    Value(rng.UniformRange(1, team_seasons)),
+                    Value(rng.UniformRange(5, 140)), Value(ab),
+                    Value(rng.UniformRange(0, 100)), Value(hits),
+                    Value(rng.UniformRange(0, hits / 3 + 1)),
+                    Value(rng.UniformRange(0, 10)),
+                    Value(rng.UniformRange(0, 45)),
+                    Value(rng.UniformRange(0, 120)),
+                    Value(rng.UniformRange(0, 60)),
+                    Value(rng.UniformRange(0, 90)),
+                    Value(rng.UniformRange(5, 160)),
+                    Value(ab > 0 ? hits * 1000 / ab : 0)});
+        }
+      }
+    }
+    db.push_back({"batting", b.Build()});
+  }
+
+  // pitching: (player_id, season, stint) again, different measures.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "player_id", "season", "stint", "team_id", "wins", "losses",
+        "games", "saves", "innings_outs", "earned_runs", "era_x100",
+        "strikeouts", "walks"}));
+    for (int64_t p = 0; p < dims.players; p += 4) {  // ~quarter are pitchers
+      int seasons = 1 + static_cast<int>(rng.Uniform(8));
+      for (int s = 0; s < seasons; ++s) {
+        int year = static_cast<int>(rng.Uniform(kYears));
+        int64_t outs = rng.UniformRange(30, 700);
+        int64_t er = rng.UniformRange(0, outs / 8);
+        b.AddRow({Value(p + 1), Value(int64_t{kFirstYear + year}),
+                  Value(int64_t{1}), Value(rng.UniformRange(1, team_seasons)),
+                  Value(rng.UniformRange(0, 22)), Value(rng.UniformRange(0, 18)),
+                  Value(rng.UniformRange(3, 60)), Value(rng.UniformRange(0, 40)),
+                  Value(outs), Value(er), Value(er * 2700 / outs),
+                  Value(rng.UniformRange(5, 280)), Value(rng.UniformRange(2, 110))});
+      }
+    }
+    db.push_back({"pitching", b.Build()});
+  }
+
+  // games: per-season schedule; (season, game_no) composite key.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "season", "game_no", "date", "home_team", "away_team", "home_score",
+        "away_score", "attendance", "duration_min", "extra_innings"}));
+    for (int y = 0; y < kYears; ++y) {
+      for (int64_t g = 0; g < dims.games_per_season; ++g) {
+        int64_t home = rng.UniformRange(0, dims.teams - 1);
+        int64_t away = (home + 1 + rng.UniformRange(0, dims.teams - 2)) %
+                       dims.teams;
+        b.AddRow({Value(int64_t{kFirstYear + y}), Value(g + 1),
+                  Value(DateFor(y * 360 + (g * 180 / dims.games_per_season))),
+                  Value(y * dims.teams + home + 1),
+                  Value(y * dims.teams + away + 1),
+                  Value(rng.UniformRange(0, 15)), Value(rng.UniformRange(0, 15)),
+                  Value(rng.UniformRange(500, 45000)),
+                  Value(rng.UniformRange(120, 260)),
+                  Value(rng.Bernoulli(0.08) ? int64_t{1} : int64_t{0})});
+      }
+    }
+    db.push_back({"games", b.Build()});
+  }
+
+  // awards: (award, season) key — one winner per award per season.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "award", "season", "player_id", "votes", "unanimous"}));
+    for (int y = 0; y < kYears; ++y) {
+      for (int a = 0; a < 8; ++a) {
+        b.AddRow({Value(kAwards[a]), Value(int64_t{kFirstYear + y}),
+                  Value(rng.UniformRange(1, dims.players)),
+                  Value(rng.UniformRange(50, 400)),
+                  Value(rng.Bernoulli(0.05) ? int64_t{1} : int64_t{0})});
+      }
+    }
+    db.push_back({"awards", b.Build()});
+  }
+
+  // hall_of_fame: (player_id, ballot_year) — players can appear on several
+  // ballots before induction.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "player_id", "ballot_year", "votes", "needed", "inducted"}));
+    for (int64_t p = 0; p < dims.players / 10; ++p) {
+      int64_t player = 1 + Mix64(seed ^ (p * 7919)) % dims.players;
+      int ballots = 1 + static_cast<int>(rng.Uniform(5));
+      int year0 = static_cast<int>(rng.Uniform(kYears - 5));
+      for (int i = 0; i < ballots; ++i) {
+        b.AddRow({Value(player), Value(int64_t{kFirstYear + year0 + i}),
+                  Value(rng.UniformRange(10, 300)), Value(int64_t{225}),
+                  Value(i == ballots - 1 && rng.Bernoulli(0.4) ? int64_t{1}
+                                                               : int64_t{0})});
+      }
+    }
+    db.push_back({"hall_of_fame", b.Build()});
+  }
+
+  // fielding: (player_id, season, position).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "player_id", "season", "position", "games", "putouts", "assists",
+        "errors", "double_plays"}));
+    for (int64_t p = 0; p < dims.players; ++p) {
+      int entries = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < entries; ++i) {
+        b.AddRow({Value(p + 1),
+                  Value(int64_t{kFirstYear +
+                                static_cast<int64_t>(rng.Uniform(kYears))}),
+                  Value(kPositions[(Mix64(p + i * 31) % 10)]),
+                  Value(rng.UniformRange(1, 140)),
+                  Value(rng.UniformRange(0, 400)),
+                  Value(rng.UniformRange(0, 300)), Value(rng.UniformRange(0, 25)),
+                  Value(rng.UniformRange(0, 40))});
+      }
+    }
+    db.push_back({"fielding", b.Build()});
+  }
+
+  // managers: (team_id) within a season — team_id is already season-scoped.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "team_id", "manager_name", "tenure_years", "career_wins",
+        "former_player"}));
+    for (int64_t t = 0; t < team_seasons; ++t) {
+      b.AddRow({Value(t + 1), Value(GivenNameFor(Mix64(t) % 300) + " " +
+                                    SurnameFor(Mix64(t ^ 0x13ULL) % 900)),
+                Value(rng.UniformRange(1, 20)),
+                Value(rng.UniformRange(0, 1500)),
+                Value(rng.Bernoulli(0.6) ? int64_t{1} : int64_t{0})});
+    }
+    db.push_back({"managers", b.Build()});
+  }
+
+  // all_star: (season, league_slot).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "season", "league_slot", "player_id", "position", "starter"}));
+    for (int y = 0; y < kYears; ++y) {
+      for (int s = 0; s < 30; ++s) {
+        b.AddRow({Value(int64_t{kFirstYear + y}), Value(int64_t{s + 1}),
+                  Value(rng.UniformRange(1, dims.players)),
+                  Value(kPositions[s % 10]),
+                  Value(s < 10 ? int64_t{1} : int64_t{0})});
+      }
+    }
+    db.push_back({"all_star", b.Build()});
+  }
+
+  // playoffs: (season, round, game_in_round).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "season", "round", "game_in_round", "home_team", "away_team",
+        "home_score", "away_score"}));
+    for (int y = 0; y < kYears; ++y) {
+      for (int round = 1; round <= 3; ++round) {
+        int games = 3 + static_cast<int>(rng.Uniform(4));
+        for (int g = 1; g <= games; ++g) {
+          b.AddRow({Value(int64_t{kFirstYear + y}), Value(int64_t{round}),
+                    Value(int64_t{g}),
+                    Value(y * dims.teams + rng.UniformRange(1, dims.teams)),
+                    Value(y * dims.teams + rng.UniformRange(1, dims.teams)),
+                    Value(rng.UniformRange(0, 12)),
+                    Value(rng.UniformRange(0, 12))});
+        }
+      }
+    }
+    db.push_back({"playoffs", b.Build()});
+  }
+
+
+  return db;
+}
+
+}  // namespace gordian

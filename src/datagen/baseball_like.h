@@ -1,0 +1,26 @@
+#ifndef GORDIAN_DATAGEN_BASEBALL_LIKE_H_
+#define GORDIAN_DATAGEN_BASEBALL_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/tpch_lite.h"  // NamedTable
+
+namespace gordian {
+
+// The paper's BASEBALL dataset (real data about an Australian baseball
+// championship: players, teams, awards, hall-of-fame membership, and
+// game/player statistics; 12 tables, ~16 attributes on average, 262k tuples
+// total) is not publicly available. This generator substitutes a
+// sports-league database with the same shape: a dozen interlinked tables
+// whose natural keys are mostly composite (player-season-stint statistics,
+// per-game box scores, award years), plus denormalized name/date columns
+// that create incidental correlations — the texture that drives GORDIAN's
+// pruning on the real dataset.
+//
+// `scale` = 1.0 produces ~262k total tuples.
+std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_BASEBALL_LIKE_H_

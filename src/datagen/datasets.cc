@@ -1,0 +1,81 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+#include "datagen/baseball_like.h"
+#include "datagen/opic_like.h"
+
+namespace gordian {
+
+double Dataset::AverageAttributes() const {
+  if (tables.empty()) return 0;
+  double total = 0;
+  for (const NamedTable& t : tables) total += t.table.num_columns();
+  return total / static_cast<double>(tables.size());
+}
+
+int Dataset::MaxAttributes() const {
+  int m = 0;
+  for (const NamedTable& t : tables) m = std::max(m, t.table.num_columns());
+  return m;
+}
+
+int64_t Dataset::TotalTuples() const {
+  int64_t total = 0;
+  for (const NamedTable& t : tables) total += t.table.num_rows();
+  return total;
+}
+
+Dataset MakeTpchDataset(double scale, uint64_t seed) {
+  Dataset d;
+  d.name = "TPC-H";
+  // SF 0.02 at scale 1.0: ~170k tuples over the eight tables; the shape
+  // (8 tables, avg ~9 attrs, max 17) matches the paper's Table 1.
+  d.tables = GenerateTpchLite(0.02 * scale, seed);
+  return d;
+}
+
+Dataset MakeOpicDataset(double scale, uint64_t seed) {
+  Dataset d;
+  d.name = "OPICM";
+  // A handful of catalog tables with varying widths up to 66 attributes.
+  // The paper's OPIC has 106 tables / 27.8M tuples; we keep the width and
+  // texture but a laptop-scale tuple count.
+  struct Shape {
+    int64_t rows;
+    int attrs;
+  };
+  const Shape shapes[] = {{60000, 50}, {30000, 66}, {40000, 34},
+                          {20000, 24}, {15000, 17}, {25000, 12},
+                          {10000, 40}, {12000, 8}};
+  int i = 0;
+  for (const Shape& s : shapes) {
+    NamedTable t;
+    t.name = "catalog_" + std::to_string(i);
+    t.table = GenerateOpicLike(
+        std::max<int64_t>(100, std::llround(s.rows * scale)),
+        std::max(5, s.attrs), Mix64(seed + 1000 + i));
+    d.tables.push_back(std::move(t));
+    ++i;
+  }
+  return d;
+}
+
+Dataset MakeBaseballDataset(double scale, uint64_t seed) {
+  Dataset d;
+  d.name = "BASEBALL";
+  d.tables = GenerateBaseballLike(scale, seed);
+  return d;
+}
+
+std::vector<Dataset> MakeAllDatasets(double scale, uint64_t seed) {
+  std::vector<Dataset> all;
+  all.push_back(MakeTpchDataset(scale, seed));
+  all.push_back(MakeOpicDataset(scale, seed + 1));
+  all.push_back(MakeBaseballDataset(scale, seed + 2));
+  return all;
+}
+
+}  // namespace gordian

@@ -1,0 +1,41 @@
+#ifndef GORDIAN_DATAGEN_DATASETS_H_
+#define GORDIAN_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/tpch_lite.h"
+
+namespace gordian {
+
+// A generated stand-in for one of the paper's three evaluation datasets
+// (Table 1), scaled by `scale` relative to the shape this repository uses
+// by default.
+struct Dataset {
+  std::string name;
+  std::vector<NamedTable> tables;
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+  double AverageAttributes() const;
+  int MaxAttributes() const;
+  int64_t TotalTuples() const;
+};
+
+// The three datasets of the paper's evaluation, regenerated synthetically:
+//  - TPCH: the 8-table TPC-H shape;
+//  - OPICM: product-catalog tables in the OPIC mold (wide, correlated) —
+//    the figures label this dataset "OPICM";
+//  - BASEBALL: the sports-league database.
+// `scale` = 1.0 targets this repository's default sizes (laptop-friendly,
+// same shape as the paper's Table 1 rather than its absolute counts).
+Dataset MakeTpchDataset(double scale, uint64_t seed);
+Dataset MakeOpicDataset(double scale, uint64_t seed);
+Dataset MakeBaseballDataset(double scale, uint64_t seed);
+
+// All three, in the order the paper's figures list them.
+std::vector<Dataset> MakeAllDatasets(double scale, uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_DATASETS_H_

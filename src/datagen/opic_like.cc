@@ -1,0 +1,123 @@
+#include "datagen/opic_like.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hashing.h"
+#include "datagen/synthetic.h"
+
+namespace gordian {
+
+// Design notes. Real catalog data keeps the family of minimal keys small
+// because descriptive attributes are (approximately) functionally determined
+// by a few LOW-cardinality hierarchy nodes (brand, line, series), not by the
+// high-cardinality identifiers themselves. That matters: a wide set of
+// quasi-independent functions of a high-cardinality column yields
+// combinatorially many minimal identifying subsets (the #P-hard regime),
+// whereas functions of a 50-value brand can never jointly distinguish more
+// than ~50 groups and therefore never participate in keys. The paper credits
+// exactly these "complex correlation patterns" for GORDIAN's pruning.
+//
+// Resulting key structure: (model_no, config_no) is the planted composite
+// key; serial_no (position 7, when present) is a planted single-column
+// surrogate key; every other column hangs off the brand hierarchy with a
+// sprinkle of noise, so the non-key antichain stays small and maximal.
+Table GenerateOpicLike(int64_t num_rows, int num_attrs, uint64_t seed) {
+  assert(num_attrs >= 5 && num_attrs <= 66);
+
+  SyntheticSpec spec;
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  auto add = [&](const std::string& name, uint64_t card, double theta,
+                 int corr = -1, double noise = 0.0) {
+    SyntheticColumn col;
+    col.name = name;
+    col.cardinality = card;
+    col.zipf_theta = theta;
+    col.correlated_with = corr;
+    col.correlation_noise = noise;
+    spec.columns.push_back(col);
+  };
+
+  // Positions 0-4: the identifying head plus the brand hierarchy.
+  const uint64_t model_card = std::max<uint64_t>(64, num_rows / 4);
+  add("model_no", model_card, 0.0);                           // 0
+  add("brand", 50, 0.0, /*corr=*/0, /*noise=*/0.01);          // 1
+  add("product_line", 16, 0.0, /*corr=*/1, /*noise=*/0.01);   // 2
+  add("series", 40, 0.0, /*corr=*/1, /*noise=*/0.02);         // 3
+  add("config_no", 64, 0.0);                                  // 4
+  spec.planted_keys.push_back({0, 4});
+
+  // Position 5 onward: spec/flag/measurement attributes derived from the
+  // hierarchy (never from model_no directly — see design notes above).
+  // Position 7 is a surrogate serial number, a planted single-column key.
+  for (int c = 5; c < num_attrs; ++c) {
+    if (c == 7) {
+      add("serial_no", std::max<uint64_t>(64, num_rows), 0.0);
+      spec.planted_keys.push_back({7});
+      continue;
+    }
+    uint64_t h = Mix64(seed ^ (0x0b1cULL + c));
+    // Derivation source: the brand hierarchy or an earlier derived column
+    // (transitive dependencies) — all of which are functions of brand.
+    int corr;
+    switch (h % 4) {
+      case 0: corr = 1; break;
+      case 1: corr = 2; break;
+      case 2: corr = 3; break;
+      default: {
+        // Earliest derived column is 5; avoid the planted serial at 7.
+        if (c > 5) {
+          corr = 5 + static_cast<int>(h % (c - 5));
+          if (corr == 7) corr = 1;
+        } else {
+          corr = 1;
+        }
+        break;
+      }
+    }
+    double noise = (h % 7 == 0) ? 0.02 : 0.0;
+    std::string name;
+    uint64_t card;
+    switch (c % 6) {
+      case 0:
+        name = "spec_" + std::to_string(c);
+        card = 200 + h % 800;
+        break;
+      case 1:
+        name = "flag_" + std::to_string(c);
+        card = 2 + h % 4;
+        break;
+      case 2:
+        name = "enum_" + std::to_string(c);
+        card = 8 + h % 24;
+        break;
+      case 3:
+        name = "measure_" + std::to_string(c);
+        card = 500 + h % 4500;
+        break;
+      case 4:
+        name = "code_" + std::to_string(c);
+        card = 30 + h % 90;
+        break;
+      default:
+        name = "attr_" + std::to_string(c);
+        card = 50 + h % 150;
+        break;
+    }
+    add(name, card, 0.0, corr, noise);
+    // Strings for a handful of columns so dictionaries carry mixed types.
+    if (c % 7 == 3) {
+      spec.columns.back().kind = SyntheticColumn::Kind::kString;
+    }
+  }
+
+  Table out;
+  Status s = GenerateSynthetic(spec, &out);
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+}  // namespace gordian

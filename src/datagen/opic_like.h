@@ -1,0 +1,27 @@
+#ifndef GORDIAN_DATAGEN_OPIC_LIKE_H_
+#define GORDIAN_DATAGEN_OPIC_LIKE_H_
+
+#include <cstdint>
+
+#include "table/table.h"
+
+namespace gordian {
+
+// OPIC, "a real-world database containing product information for a large
+// computer company", is proprietary, so this generator substitutes a
+// product-catalog table with the published shape (Table 1: up to 66
+// attributes, wide and sparse) and the statistical texture the paper relies
+// on: a hierarchy of correlated categorical columns (functional dependencies
+// with a little noise), many low-cardinality enum/flag columns with skewed
+// (Zipfian) frequencies, a few high-cardinality identifier columns, and a
+// planted composite key — (model_no, config_no) — inside the first five
+// columns so every prefix projection used by the attribute sweeps
+// (Figures 12 and 13) still has keys to find.
+//
+// `num_attrs` in [5, 66]; the first columns are fixed, further columns are
+// generated spec/flag/measurement attributes.
+Table GenerateOpicLike(int64_t num_rows, int num_attrs, uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_OPIC_LIKE_H_

@@ -1,0 +1,192 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/hashing.h"
+#include "common/random.h"
+
+namespace gordian {
+
+IndexPermutation::IndexPermutation(uint64_t n, uint64_t seed) : n_(n) {
+  // Smallest even-bit-width power-of-two domain covering n (Feistel needs an
+  // even split).
+  int bits = 2;
+  while ((uint64_t{1} << bits) < n_ || (bits % 2) != 0) ++bits;
+  half_bits_ = bits / 2;
+  for (int i = 0; i < 4; ++i) {
+    keys_[i] = Mix64(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+}
+
+uint64_t IndexPermutation::Feistel(uint64_t x) const {
+  const uint64_t mask = (uint64_t{1} << half_bits_) - 1;
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & mask;
+  for (int round = 0; round < 4; ++round) {
+    uint64_t f = Mix64(right ^ keys_[round]) & mask;
+    uint64_t new_left = right;
+    right = left ^ f;
+    left = new_left;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t IndexPermutation::Map(uint64_t i) const {
+  assert(i < n_);
+  // Cycle-walk: repeatedly encrypt until the value lands inside [0, n).
+  uint64_t x = Feistel(i);
+  while (x >= n_) x = Feistel(x);
+  return x;
+}
+
+namespace {
+
+Value RenderValue(const SyntheticColumn& col, uint64_t rank) {
+  if (col.kind == SyntheticColumn::Kind::kString) {
+    // Deterministic synthetic token; the salt decorrelates equal ranks in
+    // different columns.
+    return Value("w" + std::to_string(rank) + "-" +
+                 std::to_string(Mix64(rank ^ HashBytes(col.name)) % 997));
+  }
+  return Value(static_cast<int64_t>(rank));
+}
+
+}  // namespace
+
+Status GenerateSynthetic(const SyntheticSpec& spec, Table* out) {
+  const int d = static_cast<int>(spec.columns.size());
+  if (d == 0) return Status::InvalidArgument("no columns in spec");
+  if (d > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument("too many columns");
+  }
+
+  // Validate planted keys and precompute their mixed-radix layout.
+  struct PlantedKey {
+    std::vector<int> cols;
+    IndexPermutation perm;
+  };
+  std::vector<PlantedKey> planted;
+  std::vector<int> planted_col_of(d, -1);  // planted key index owning a column
+  for (size_t k = 0; k < spec.planted_keys.size(); ++k) {
+    const std::vector<int>& cols = spec.planted_keys[k];
+    if (cols.empty()) return Status::InvalidArgument("empty planted key");
+    // The value space of the key must cover the row count.
+    long double space = 1.0L;
+    for (int c : cols) {
+      if (c < 0 || c >= d) return Status::InvalidArgument("bad key column");
+      if (planted_col_of[c] >= 0) {
+        return Status::InvalidArgument(
+            "column " + std::to_string(c) + " used by two planted keys");
+      }
+      if (spec.columns[c].correlated_with >= 0) {
+        return Status::InvalidArgument(
+            "column " + std::to_string(c) +
+            " cannot be both correlated and part of a planted key");
+      }
+      planted_col_of[c] = static_cast<int>(k);
+      space *= static_cast<long double>(spec.columns[c].cardinality);
+    }
+    if (space < static_cast<long double>(spec.num_rows)) {
+      return Status::InvalidArgument(
+          "planted key value space smaller than num_rows");
+    }
+    // Domain for the permutation: min(product, something comfortably above
+    // num_rows) — capping avoids overflow for huge products.
+    uint64_t domain = spec.num_rows > 0
+                          ? static_cast<uint64_t>(
+                                std::min<long double>(space, 1e18L))
+                          : 1;
+    planted.push_back(
+        {cols, IndexPermutation(std::max<uint64_t>(domain, 1),
+                                Mix64(spec.seed + 31 * (k + 1)))});
+  }
+
+  // Per-column Zipf samplers for free (non-planted, non-correlated) columns.
+  std::vector<std::unique_ptr<ZipfGenerator>> zipf(d);
+  for (int c = 0; c < d; ++c) {
+    if (planted_col_of[c] < 0 && spec.columns[c].correlated_with < 0) {
+      zipf[c] = std::make_unique<ZipfGenerator>(spec.columns[c].cardinality,
+                                                spec.columns[c].zipf_theta);
+    } else if (spec.columns[c].correlated_with >= 0) {
+      // Noise draws for correlated columns also follow the column's skew.
+      zipf[c] = std::make_unique<ZipfGenerator>(spec.columns[c].cardinality,
+                                                spec.columns[c].zipf_theta);
+      if (spec.columns[c].correlated_with >= c) {
+        return Status::InvalidArgument(
+            "correlated_with must reference an earlier column");
+      }
+    }
+  }
+
+  TableBuilder builder([&] {
+    std::vector<std::string> names;
+    for (const auto& c : spec.columns) names.push_back(c.name);
+    return Schema(names);
+  }());
+
+  Random rng(spec.seed);
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> seen_rows;
+  const bool dedupe = spec.ensure_unique_rows && planted.empty();
+  if (dedupe) seen_rows.reserve(static_cast<size_t>(spec.num_rows));
+
+  std::vector<uint64_t> ranks(d);
+  std::vector<Value> row(d);
+  for (int64_t r = 0; r < spec.num_rows; ++r) {
+    constexpr int kMaxAttempts = 256;
+    int attempt = 0;
+    while (true) {
+      // Planted-key columns: decompose a permuted row index in mixed radix.
+      for (const PlantedKey& pk : planted) {
+        uint64_t code = pk.perm.Map(static_cast<uint64_t>(r));
+        for (int c : pk.cols) {
+          ranks[c] = code % spec.columns[c].cardinality;
+          code /= spec.columns[c].cardinality;
+        }
+      }
+      // Free and correlated columns.
+      for (int c = 0; c < d; ++c) {
+        if (planted_col_of[c] >= 0) continue;
+        const SyntheticColumn& col = spec.columns[c];
+        if (col.correlated_with >= 0 && !rng.Bernoulli(col.correlation_noise)) {
+          ranks[c] = Mix64(ranks[col.correlated_with] ^
+                           HashBytes(col.name)) %
+                     col.cardinality;
+        } else {
+          ranks[c] = zipf[c]->Sample(rng);
+        }
+      }
+      if (!dedupe) break;
+      Fingerprint128 fp;
+      for (int c = 0; c < d; ++c) fp.Update(ranks[c]);
+      if (seen_rows.insert(fp).second) break;
+      if (++attempt >= kMaxAttempts) {
+        return Status::InvalidArgument(
+            "cannot generate enough distinct rows; value space too small");
+      }
+    }
+    for (int c = 0; c < d; ++c) row[c] = RenderValue(spec.columns[c], ranks[c]);
+    builder.AddRow(row);
+  }
+  *out = builder.Build();
+  return Status::OK();
+}
+
+SyntheticSpec UniformSpec(int num_columns, int64_t num_rows,
+                          uint64_t cardinality, double zipf_theta,
+                          uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+  for (int c = 0; c < num_columns; ++c) {
+    SyntheticColumn col;
+    col.name = "c" + std::to_string(c);
+    col.cardinality = cardinality;
+    col.zipf_theta = zipf_theta;
+    spec.columns.push_back(col);
+  }
+  return spec;
+}
+
+}  // namespace gordian

@@ -1,0 +1,85 @@
+#ifndef GORDIAN_DATAGEN_SYNTHETIC_H_
+#define GORDIAN_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Declarative description of one synthetic column.
+struct SyntheticColumn {
+  std::string name;
+
+  // Size of the value pool the column draws from.
+  uint64_t cardinality = 100;
+
+  // Generalized Zipf skew of value frequencies (0 = uniform); matches the
+  // frequency model of the paper's Theorem 1.
+  double zipf_theta = 0.0;
+
+  // Value rendering: plain integers or synthetic strings ("w<rank>-<salt>").
+  enum class Kind { kInt, kString };
+  Kind kind = Kind::kInt;
+
+  // When >= 0, this column is (noisily) functionally dependent on the column
+  // at that position: value = h(other value) except with probability
+  // `correlation_noise` an independent draw is used. Real datasets are full
+  // of such correlations, and the paper credits them for much of GORDIAN's
+  // pruning. The referenced column must have a smaller position.
+  int correlated_with = -1;
+  double correlation_noise = 0.0;
+};
+
+// Description of a synthetic entity collection.
+struct SyntheticSpec {
+  std::vector<SyntheticColumn> columns;
+  int64_t num_rows = 1000;
+  uint64_t seed = 1;
+
+  // Column-position sets that must be exact keys of the generated table.
+  // Enforced constructively: the tuple of each planted key is a mixed-radix
+  // decomposition of a pseudorandom permutation of the row index, so the
+  // product of the key columns' cardinalities must be >= num_rows.
+  std::vector<std::vector<int>> planted_keys;
+
+  // Re-roll rows that duplicate a previous row so the full attribute set is
+  // a key (GORDIAN aborts otherwise). Ignored when a planted key already
+  // guarantees it.
+  bool ensure_unique_rows = true;
+};
+
+// Generates the table described by `spec`. Fails if a planted key's value
+// space is smaller than num_rows or if unique rows are requested from a
+// value space that is too small.
+Status GenerateSynthetic(const SyntheticSpec& spec, Table* out);
+
+// A pseudorandom permutation of {0, ..., n-1} evaluated point-wise:
+// PermutedIndex(i) visits every value exactly once as i covers [0, n).
+// Implemented as a Feistel cipher over a power-of-two domain with
+// cycle-walking. Used to plant exact keys.
+class IndexPermutation {
+ public:
+  IndexPermutation(uint64_t n, uint64_t seed);
+  uint64_t Map(uint64_t i) const;
+
+ private:
+  uint64_t Feistel(uint64_t x) const;
+
+  uint64_t n_;
+  int half_bits_;
+  uint64_t keys_[4];
+};
+
+// Convenience: a simple uncorrelated table where every column has the same
+// cardinality and skew — the dataset family of Theorem 1.
+SyntheticSpec UniformSpec(int num_columns, int64_t num_rows,
+                          uint64_t cardinality, double zipf_theta,
+                          uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,236 @@
+#include "datagen/tpch_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+#include "common/random.h"
+#include "datagen/words.h"
+
+namespace gordian {
+
+namespace {
+
+const char* const kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* const kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                "MIDDLE EAST"};
+const char* const kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                 "HOUSEHOLD", "MACHINERY"};
+const char* const kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                   "4-NOT SPECIFIED", "5-LOW"};
+const char* const kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                                  "REG AIR", "SHIP", "TRUCK"};
+const char* const kInstructs[] = {"COLLECT COD", "DELIVER IN PERSON",
+                                  "NONE", "TAKE BACK RETURN"};
+const char* const kContainers[] = {"SM BOX",  "SM CASE", "MED BAG",
+                                   "MED BOX", "LG CASE", "LG DRUM",
+                                   "WRAP JAR", "JUMBO PKG"};
+const char* const kTypes[] = {"ECONOMY ANODIZED", "ECONOMY BRUSHED",
+                              "LARGE BURNISHED", "LARGE PLATED",
+                              "MEDIUM POLISHED", "PROMO ANODIZED",
+                              "SMALL PLATED",   "STANDARD BURNISHED"};
+
+int64_t PriceCents(Random& rng, int64_t lo, int64_t hi) {
+  return rng.UniformRange(lo, hi);
+}
+
+Table BuildRegion() {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "r_regionkey", "r_name", "r_comment"}));
+  for (int64_t r = 0; r < 5; ++r) {
+    b.AddRow({Value(r), Value(kRegions[r]), Value(CommentFor(900 + r, 6))});
+  }
+  return b.Build();
+}
+
+Table BuildNation() {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "n_nationkey", "n_name", "n_regionkey", "n_comment"}));
+  for (int64_t n = 0; n < 25; ++n) {
+    b.AddRow({Value(n), Value(kNations[n]), Value(n % 5),
+              Value(CommentFor(700 + n, 8))});
+  }
+  return b.Build();
+}
+
+Table BuildSupplier(int64_t count, Random& rng) {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+      "s_acctbal", "s_comment"}));
+  for (int64_t s = 0; s < count; ++s) {
+    int64_t nation = rng.UniformRange(0, 24);
+    b.AddRow({Value(s + 1), Value("Supplier#" + std::to_string(s + 1)),
+              Value(CityFor(Mix64(s) % 4096)), Value(nation),
+              Value(std::to_string(10 + nation) + "-" +
+                    std::to_string(100 + rng.UniformRange(0, 899)) + "-" +
+                    std::to_string(1000 + rng.UniformRange(0, 8999))),
+              Value(PriceCents(rng, -99999, 999999)),
+              Value(CommentFor(rng.Next(), 10))});
+  }
+  return b.Build();
+}
+
+Table BuildPart(int64_t count, Random& rng) {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+      "p_container", "p_retailprice", "p_comment"}));
+  for (int64_t p = 0; p < count; ++p) {
+    int64_t mfgr = 1 + rng.UniformRange(0, 4);
+    b.AddRow({Value(p + 1), Value(CommentFor(Mix64(p ^ 0xabULL), 4)),
+              Value("Manufacturer#" + std::to_string(mfgr)),
+              Value(BrandFor(mfgr * 10 + rng.UniformRange(0, 9))),
+              Value(kTypes[rng.UniformRange(0, 7)]),
+              Value(rng.UniformRange(1, 50)),
+              Value(kContainers[rng.UniformRange(0, 7)]),
+              Value(90000 + (p % 200001)), Value(CommentFor(rng.Next(), 6))});
+  }
+  return b.Build();
+}
+
+Table BuildPartsupp(int64_t parts, int64_t supps, Random& rng) {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+      "ps_comment"}));
+  for (int64_t p = 0; p < parts; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      // The standard supplier spreading: four distinct suppliers per part.
+      int64_t s = (p + i * (supps / 4 + 1)) % supps;
+      b.AddRow({Value(p + 1), Value(s + 1), Value(rng.UniformRange(1, 9999)),
+                Value(PriceCents(rng, 100, 100000)),
+                Value(CommentFor(rng.Next(), 12))});
+    }
+  }
+  return b.Build();
+}
+
+Table BuildCustomer(int64_t count, Random& rng) {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+      "c_acctbal", "c_mktsegment", "c_comment"}));
+  for (int64_t c = 0; c < count; ++c) {
+    int64_t nation = rng.UniformRange(0, 24);
+    b.AddRow({Value(c + 1), Value("Customer#" + std::to_string(c + 1)),
+              Value(CityFor(Mix64(c ^ 0xcc) % 8192)), Value(nation),
+              Value(std::to_string(10 + nation) + "-" +
+                    std::to_string(1000 + rng.UniformRange(0, 8999))),
+              Value(PriceCents(rng, -99999, 999999)),
+              Value(kSegments[rng.UniformRange(0, 4)]),
+              Value(CommentFor(rng.Next(), 9))});
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed) {
+  Random rng(seed);
+  const int64_t supps = std::max<int64_t>(10, std::llround(10000 * scale_factor));
+  const int64_t parts = std::max<int64_t>(20, std::llround(200000 * scale_factor));
+  const int64_t custs = std::max<int64_t>(15, std::llround(150000 * scale_factor));
+  const int64_t orders = std::max<int64_t>(15, std::llround(1500000 * scale_factor));
+
+  std::vector<NamedTable> db;
+  db.push_back({"region", BuildRegion()});
+  db.push_back({"nation", BuildNation()});
+  db.push_back({"supplier", BuildSupplier(supps, rng)});
+  db.push_back({"part", BuildPart(parts, rng)});
+  db.push_back({"partsupp", BuildPartsupp(parts, supps, rng)});
+  db.push_back({"customer", BuildCustomer(custs, rng)});
+
+  // orders: sparse order keys (like dbgen), dates over seven years.
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+        "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+        "o_comment"}));
+    for (int64_t o = 0; o < orders; ++o) {
+      int64_t okey = (o / 8) * 32 + (o % 8) + 1;  // sparse key space
+      int64_t date_off = rng.UniformRange(0, 2400);
+      const char* status = date_off < 800 ? "F" : (date_off < 1600 ? "P" : "O");
+      b.AddRow({Value(okey), Value(rng.UniformRange(1, custs)),
+                Value(status), Value(PriceCents(rng, 90000, 50000000)),
+                Value(DateFor(date_off)),
+                Value(kPriorities[rng.UniformRange(0, 4)]),
+                Value("Clerk#" + std::to_string(rng.UniformRange(
+                                     1, std::max<int64_t>(2, orders / 1000)))),
+                Value(int64_t{0}), Value(CommentFor(rng.Next(), 8))});
+    }
+    db.push_back({"orders", b.Build()});
+  }
+
+  // lineitem: 1-7 lines per order; composite key (l_orderkey, l_linenumber).
+  {
+    TableBuilder b(Schema(std::vector<std::string>{
+        "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+        "l_extendedprice", "l_discount", "l_tax", "l_returnflag",
+        "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
+        "l_shipinstruct", "l_shipmode", "l_comment"}));
+    for (int64_t o = 0; o < orders; ++o) {
+      int64_t okey = (o / 8) * 32 + (o % 8) + 1;
+      int64_t lines = 1 + rng.UniformRange(0, 6);
+      for (int64_t l = 0; l < lines; ++l) {
+        int64_t part = rng.UniformRange(1, parts);
+        int64_t ship = rng.UniformRange(1, 2500);
+        const char* rflag = ship < 900 ? "R" : (ship < 1200 ? "A" : "N");
+        b.AddRow({Value(okey), Value(part),
+                  Value(1 + (part + l * (supps / 4 + 1)) % supps),
+                  Value(l + 1), Value(rng.UniformRange(1, 50)),
+                  Value(PriceCents(rng, 90000, 10000000)),
+                  Value(rng.UniformRange(0, 10)), Value(rng.UniformRange(0, 8)),
+                  Value(rflag), Value(ship < 1200 ? "F" : "O"),
+                  Value(DateFor(ship)), Value(DateFor(ship + rng.UniformRange(-30, 30))),
+                  Value(DateFor(ship + rng.UniformRange(1, 30))),
+                  Value(kInstructs[rng.UniformRange(0, 3)]),
+                  Value(kShipModes[rng.UniformRange(0, 6)]),
+                  Value(CommentFor(rng.Next(), 5))});
+      }
+    }
+    db.push_back({"lineitem", b.Build()});
+  }
+  return db;
+}
+
+Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
+  Random rng(seed);
+  // Denormalized order-line rows; (f_orderkey, f_linenumber) is the planted
+  // composite key, f_rowid a surrogate single-column key.
+  TableBuilder b(Schema(std::vector<std::string>{
+      "f_rowid", "f_orderkey", "f_linenumber", "f_custkey", "f_partkey",
+      "f_suppkey", "f_quantity", "f_extendedprice", "f_discount", "f_tax",
+      "f_returnflag", "f_linestatus", "f_shipdate", "f_shipmode",
+      "f_nationkey", "f_mktsegment", "f_orderpriority"}));
+  const int64_t custs = std::max<int64_t>(1, num_rows / 12);
+  const int64_t parts = std::max<int64_t>(1, num_rows / 9);
+  const int64_t supps = std::max<int64_t>(1, num_rows / 180);
+  int64_t order = 1;
+  int64_t line = 1;
+  int64_t lines_in_order = 1 + rng.UniformRange(0, 6);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    if (line > lines_in_order) {
+      ++order;
+      line = 1;
+      lines_in_order = 1 + rng.UniformRange(0, 6);
+    }
+    int64_t cust = 1 + Mix64(order * 2654435761ULL) % custs;
+    int64_t ship = rng.UniformRange(0, 2500);
+    const char* rflag = ship < 900 ? "R" : (ship < 1200 ? "A" : "N");
+    b.AddRow({Value(r + 1), Value(order), Value(line), Value(cust),
+              Value(rng.UniformRange(1, parts)), Value(rng.UniformRange(1, supps)),
+              Value(rng.UniformRange(1, 50)),
+              Value(PriceCents(rng, 90000, 10000000)),
+              Value(rng.UniformRange(0, 10)), Value(rng.UniformRange(0, 8)),
+              Value(rflag), Value(ship < 1200 ? "F" : "O"),
+              Value(DateFor(ship)), Value(kShipModes[rng.UniformRange(0, 6)]),
+              Value(static_cast<int64_t>(Mix64(cust) % 25)),
+              Value(kSegments[Mix64(cust ^ 0x5e9) % 5]),
+              Value(kPriorities[rng.UniformRange(0, 4)])});
+    ++line;
+  }
+  return b.Build();
+}
+
+}  // namespace gordian

@@ -1,0 +1,37 @@
+#ifndef GORDIAN_DATAGEN_TPCH_LITE_H_
+#define GORDIAN_DATAGEN_TPCH_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace gordian {
+
+// A named table inside a generated multi-table dataset.
+struct NamedTable {
+  std::string name;
+  Table table;
+};
+
+// From-scratch generator for the eight-table TPC-H schema shape (the
+// synthetic database of the paper's Table 1). Row counts scale with
+// `scale_factor` exactly as dbgen's do (lineitem ~ 6M rows/SF); SF 0.1
+// yields roughly the 866k total tuples reported in the paper.
+//
+// The standard key structure is preserved: single-column primary keys for
+// supplier/part/customer/orders/nation/region, the composite keys
+// (ps_partkey, ps_suppkey) for partsupp and (l_orderkey, l_linenumber) for
+// lineitem, and realistic foreign-key/correlated columns (dates, prices,
+// statuses) so the discovered composite keys are non-trivial.
+std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed);
+
+// A single denormalized 17-column, (1,800,000 * scale)-row order-line fact
+// table: "a synthetic database with a schema similar to TPC-H; the largest
+// table had 1,800,000 rows and 17 columns" (Section 4.4). Used by the
+// index-recommendation experiment (Figure 16).
+Table GenerateTpchFact(int64_t num_rows, uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_TPCH_LITE_H_

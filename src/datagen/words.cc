@@ -1,0 +1,73 @@
+#include "datagen/words.h"
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "br", "c",  "ch", "d",  "f",  "g",
+                               "gr", "h",  "j",  "k",  "l",  "m",  "n",
+                               "p",  "qu", "r",  "s",  "st", "t",  "th",
+                               "v",  "w",  "z"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ia", "ou", "ei"};
+const char* const kCodas[] = {"n",  "r",  "s",  "t",  "l",  "m",
+                              "ck", "nd", "rt", "ss", "x",  ""};
+
+constexpr int kNumOnsets = sizeof(kOnsets) / sizeof(kOnsets[0]);
+constexpr int kNumVowels = sizeof(kVowels) / sizeof(kVowels[0]);
+constexpr int kNumCodas = sizeof(kCodas) / sizeof(kCodas[0]);
+
+std::string Syllable(uint64_t h, int i) {
+  uint64_t x = Mix64(h + 0x9e37ULL * i);
+  std::string s = kOnsets[x % kNumOnsets];
+  s += kVowels[(x >> 8) % kNumVowels];
+  s += kCodas[(x >> 16) % kNumCodas];
+  return s;
+}
+
+std::string Pronounceable(uint64_t seed, int syllables, bool capitalize) {
+  std::string s;
+  for (int i = 0; i < syllables; ++i) s += Syllable(seed, i);
+  if (capitalize && !s.empty()) s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  return s;
+}
+
+}  // namespace
+
+std::string SurnameFor(uint64_t rank) {
+  return Pronounceable(Mix64(rank ^ 0x5a17ULL), 2 + rank % 2, true);
+}
+
+std::string GivenNameFor(uint64_t rank) {
+  return Pronounceable(Mix64(rank ^ 0x11c3ULL), 2, true);
+}
+
+std::string CityFor(uint64_t rank) {
+  return Pronounceable(Mix64(rank ^ 0xc17fULL), 2, true) + " City";
+}
+
+std::string CommentFor(uint64_t seed, int words) {
+  std::string s;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) s += " ";
+    s += Pronounceable(Mix64(seed + i), 1 + (Mix64(seed ^ i) % 2), false);
+  }
+  return s;
+}
+
+std::string BrandFor(uint64_t rank) {
+  return "Brand#" + std::to_string(10 + rank % 90);
+}
+
+int64_t DateFor(int64_t day_offset) {
+  // Calendar-ish rendering: 360-day years of twelve 30-day months starting
+  // at 1992-01-01. Profiling only needs distinctness and realistic shape.
+  int64_t year = 1992 + day_offset / 360;
+  int64_t rem = day_offset % 360;
+  int64_t month = 1 + rem / 30;
+  int64_t day = 1 + rem % 30;
+  return year * 10000 + month * 100 + day;
+}
+
+}  // namespace gordian

@@ -1,0 +1,34 @@
+#ifndef GORDIAN_DATAGEN_WORDS_H_
+#define GORDIAN_DATAGEN_WORDS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gordian {
+
+// Deterministic name/token factories shared by the dataset generators.
+// These produce human-looking values so examples and CSV exports read like
+// real profiling targets, while keeping generation fully seeded.
+
+// A pronounceable surname-like token for `rank` (stable per rank).
+std::string SurnameFor(uint64_t rank);
+
+// A first-name-like token for `rank`.
+std::string GivenNameFor(uint64_t rank);
+
+// A city-like token.
+std::string CityFor(uint64_t rank);
+
+// A short lorem-style comment string of `words` tokens derived from `seed`.
+std::string CommentFor(uint64_t seed, int words);
+
+// "BRAND-xxxx" style product brand.
+std::string BrandFor(uint64_t rank);
+
+// ISO-like date string for a day offset from 1992-01-01 (rendered as an
+// integer yyyymmdd value for compact dictionaries).
+int64_t DateFor(int64_t day_offset);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_DATAGEN_WORDS_H_

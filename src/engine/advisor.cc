@@ -1,0 +1,32 @@
+#include "engine/advisor.h"
+
+#include <algorithm>
+
+namespace gordian {
+
+std::vector<std::vector<int>> RecommendIndexColumns(
+    const Table& table, const KeyDiscoveryResult& result) {
+  std::vector<std::vector<int>> recommendations;
+  for (const DiscoveredKey& key : result.keys) {
+    std::vector<int> cols;
+    key.attrs.ForEach([&](int a) { cols.push_back(a); });
+    // Most selective column first: equality lookups on a prefix of the
+    // index then prune the largest fraction of entries.
+    std::stable_sort(cols.begin(), cols.end(), [&](int a, int b) {
+      return table.ColumnCardinality(a) > table.ColumnCardinality(b);
+    });
+    recommendations.push_back(std::move(cols));
+  }
+  return recommendations;
+}
+
+Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
+                                const KeyDiscoveryResult& result) {
+  std::vector<std::unique_ptr<CompositeIndex>> indexes;
+  for (const std::vector<int>& cols : RecommendIndexColumns(table, result)) {
+    indexes.push_back(std::make_unique<CompositeIndex>(table, store, cols));
+  }
+  return Planner(std::move(indexes));
+}
+
+}  // namespace gordian

@@ -1,0 +1,28 @@
+#ifndef GORDIAN_ENGINE_ADVISOR_H_
+#define GORDIAN_ENGINE_ADVISOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/gordian.h"
+#include "engine/executor.h"
+#include "engine/row_store.h"
+
+namespace gordian {
+
+// The "index wizard" front-end of Section 4.4: GORDIAN's discovered keys
+// become the candidate index set. Each minimal key yields one composite
+// index on the key columns (ordered by descending selectivity, i.e.,
+// descending column cardinality, so prefix lookups stay useful). Like the
+// paper's experiment, we are "naive" and build every candidate.
+std::vector<std::vector<int>> RecommendIndexColumns(
+    const Table& table, const KeyDiscoveryResult& result);
+
+// Builds the recommended indexes over a row store and wraps them in a
+// Planner ready to execute a workload.
+Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
+                                const KeyDiscoveryResult& result);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_ENGINE_ADVISOR_H_

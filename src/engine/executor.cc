@@ -1,0 +1,195 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+namespace {
+
+// Order-independent accumulation so scan and index plans (which visit rows
+// in different orders) produce comparable checksums.
+void Accumulate(QueryResult* result, uint64_t row_hash) {
+  ++result->rows_matched;
+  result->checksum += Mix64(row_hash);
+}
+
+// Range-predicate check against a decoded value.
+bool RangeMatches(const Table& table, const RangePredicate& range,
+                  uint32_t code) {
+  const Value& v = table.dictionary(range.col).Decode(code);
+  if (v.type() != ValueType::kInt64) return false;
+  return v.int64() >= range.lo && v.int64() <= range.hi;
+}
+
+bool RowMatches(const Table& table, const uint32_t* row, const Query& query) {
+  for (const EqPredicate& p : query.predicates) {
+    if (row[p.col] != p.code) return false;
+  }
+  if (query.range.active() &&
+      !RangeMatches(table, query.range, row[query.range.col])) {
+    return false;
+  }
+  return true;
+}
+
+// Slot of `col` within the index key, or -1.
+int KeySlot(const CompositeIndex& index, int col) {
+  for (size_t i = 0; i < index.columns().size(); ++i) {
+    if (index.columns()[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+QueryResult ExecuteScan(const Table& table, const RowStore& store,
+                        const Query& query) {
+  QueryResult result;
+  const int64_t n = store.num_rows();
+  for (int64_t r = 0; r < n; ++r) {
+    const uint32_t* row = store.row(r);
+    if (!RowMatches(table, row, query)) continue;
+    uint64_t h = 0;
+    for (int c : query.projection) h = HashCombine(h, row[c]);
+    Accumulate(&result, h);
+  }
+  return result;
+}
+
+QueryResult ExecuteWithIndex(const Table& table, const RowStore& store,
+                             const CompositeIndex& index, const Query& query) {
+  QueryResult result;
+
+  // Entry range to examine: equality prefix if present, else leading-column
+  // value range, else (defensively) everything.
+  std::pair<int64_t, int64_t> range{0, index.num_entries()};
+  if (!query.predicates.empty()) {
+    std::vector<uint32_t> prefix;
+    for (size_t i = 0; i < query.predicates.size(); ++i) {
+      const int col = index.columns()[i];
+      bool found = false;
+      for (const EqPredicate& p : query.predicates) {
+        if (p.col == col) {
+          prefix.push_back(p.code);
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+    }
+    if (prefix.size() != query.predicates.size()) {
+      // Not a leading-prefix match; stay correct via a scan.
+      return ExecuteScan(table, store, query);
+    }
+    range = index.EqualRange(prefix);
+  } else if (query.range.active()) {
+    if (index.columns()[0] != query.range.col) {
+      return ExecuteScan(table, store, query);
+    }
+    range = index.ValueRange(query.range.lo, query.range.hi);
+  }
+
+  // Covered iff every column the query touches lives in the index key.
+  bool covering = true;
+  std::vector<int> proj_slots;
+  for (int c : query.projection) {
+    int slot = KeySlot(index, c);
+    if (slot < 0) {
+      covering = false;
+      break;
+    }
+    proj_slots.push_back(slot);
+  }
+  int range_slot =
+      query.range.active() ? KeySlot(index, query.range.col) : 0;
+  if (query.range.active() && range_slot < 0) covering = false;
+
+  if (covering) {
+    // Index-only: verify residual predicates and project from key slots.
+    for (int64_t e = range.first; e < range.second; ++e) {
+      if (query.range.active() &&
+          !RangeMatches(table, query.range, index.key(e, range_slot))) {
+        continue;
+      }
+      uint64_t h = 0;
+      for (int slot : proj_slots) h = HashCombine(h, index.key(e, slot));
+      Accumulate(&result, h);
+    }
+  } else {
+    for (int64_t e = range.first; e < range.second; ++e) {
+      const uint32_t* row = store.row(index.row_id(e));
+      if (!RowMatches(table, row, query)) continue;
+      uint64_t h = 0;
+      for (int c : query.projection) h = HashCombine(h, row[c]);
+      Accumulate(&result, h);
+    }
+  }
+  return result;
+}
+
+PlanChoice Planner::Choose(const Table& table, const Query& query) const {
+  PlanChoice best;
+  best.estimated_cost =
+      static_cast<double>(table.num_rows()) * kScanCostPerRow;
+
+  const bool has_eq = !query.predicates.empty();
+  const bool has_range = query.range.active();
+  if ((!has_eq && !has_range) || (has_eq && has_range)) {
+    // No predicate to exploit, or a mixed shape the executor would only
+    // half-use: scan.
+    return best;
+  }
+
+  for (const auto& index : indexes_) {
+    const std::vector<int>& cols = index->columns();
+    std::pair<int64_t, int64_t> range;
+    if (has_eq) {
+      if (query.predicates.size() > cols.size()) continue;
+      // The equality columns must be exactly the leading index columns.
+      std::vector<uint32_t> prefix;
+      bool ok = true;
+      for (size_t i = 0; i < query.predicates.size() && ok; ++i) {
+        ok = false;
+        for (const EqPredicate& p : query.predicates) {
+          if (p.col == cols[i]) {
+            prefix.push_back(p.code);
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      range = index->EqualRange(prefix);
+    } else {
+      if (cols[0] != query.range.col) continue;
+      range = index->ValueRange(query.range.lo, query.range.hi);
+    }
+    const double matches = static_cast<double>(range.second - range.first);
+
+    bool covering = true;
+    for (int c : query.projection) {
+      if (KeySlot(*index, c) < 0) {
+        covering = false;
+        break;
+      }
+    }
+    double cost =
+        matches * (covering ? kCoveredCostPerMatch : kFetchCostPerMatch);
+    if (cost < best.estimated_cost) {
+      best.estimated_cost = cost;
+      best.index = index.get();
+      best.covering = covering;
+    }
+  }
+  return best;
+}
+
+QueryResult Execute(const Table& table, const RowStore& store,
+                    const PlanChoice& plan, const Query& query) {
+  if (plan.index == nullptr) return ExecuteScan(table, store, query);
+  return ExecuteWithIndex(table, store, *plan.index, query);
+}
+
+}  // namespace gordian

@@ -1,0 +1,63 @@
+#ifndef GORDIAN_ENGINE_EXECUTOR_H_
+#define GORDIAN_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/index.h"
+#include "engine/query.h"
+#include "engine/row_store.h"
+
+namespace gordian {
+
+// How a query was (or would be) executed.
+struct PlanChoice {
+  const CompositeIndex* index = nullptr;  // nullptr = full scan
+  bool covering = false;     // all touched columns are in the index key
+  double estimated_cost = 0; // planner cost units (rows-ish)
+};
+
+// Executes `query` with a full table scan.
+QueryResult ExecuteScan(const Table& table, const RowStore& store,
+                        const Query& query);
+
+// Executes `query` through `index`. The query's equality predicates must
+// cover a leading prefix of the index columns, or (with no equality
+// predicates) its range predicate must be on the leading index column;
+// Planner guarantees this. Every matching entry is re-verified against all
+// predicates, so a mismatched plan degrades to correct-but-slow, never to
+// wrong answers. Non-covered plans fetch qualifying rows from the row store.
+QueryResult ExecuteWithIndex(const Table& table, const RowStore& store,
+                             const CompositeIndex& index, const Query& query);
+
+// Cost-based plan selection over candidate indexes. Equality lookups and
+// leading-column range scans are costed by probing the index for the match
+// count; covering plans read index entries only, non-covering plans pay a
+// per-match row fetch.
+class Planner {
+ public:
+  explicit Planner(std::vector<std::unique_ptr<CompositeIndex>> indexes)
+      : indexes_(std::move(indexes)) {}
+
+  PlanChoice Choose(const Table& table, const Query& query) const;
+
+  const std::vector<std::unique_ptr<CompositeIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  // Cost model constants (cost units per row/entry). Exposed for tests.
+  static constexpr double kScanCostPerRow = 1.0;
+  static constexpr double kFetchCostPerMatch = 8.0;
+  static constexpr double kCoveredCostPerMatch = 0.5;
+
+ private:
+  std::vector<std::unique_ptr<CompositeIndex>> indexes_;
+};
+
+// Convenience: execute with the chosen plan.
+QueryResult Execute(const Table& table, const RowStore& store,
+                    const PlanChoice& plan, const Query& query);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_ENGINE_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#include "engine/index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gordian {
+
+CompositeIndex::CompositeIndex(const Table& table, const RowStore& store,
+                               std::vector<int> columns)
+    : table_(&table),
+      columns_(std::move(columns)),
+      num_entries_(store.num_rows()) {
+  const int k = static_cast<int>(columns_.size());
+  std::vector<int64_t> order(num_entries_);
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (int c : columns_) {
+      uint32_t ca = store.at(a, c), cb = store.at(b, c);
+      if (ca == cb) continue;
+      const Dictionary& dict = table.dictionary(c);
+      const Value& va = dict.Decode(ca);
+      const Value& vb = dict.Decode(cb);
+      if (va < vb) return true;
+      if (vb < va) return false;
+    }
+    return a < b;
+  });
+  keys_.resize(static_cast<size_t>(num_entries_) * k);
+  row_ids_.resize(num_entries_);
+  for (int64_t e = 0; e < num_entries_; ++e) {
+    int64_t r = order[e];
+    row_ids_[e] = r;
+    for (int i = 0; i < k; ++i) {
+      keys_[static_cast<size_t>(e) * k + i] = store.at(r, columns_[i]);
+    }
+  }
+}
+
+std::string CompositeIndex::Describe() const {
+  std::string s = "idx(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += table_->schema().name(columns_[i]);
+  }
+  return s + ")";
+}
+
+int CompositeIndex::ComparePrefix(int64_t entry,
+                                  const std::vector<Value>& prefix) const {
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    const Value& ve =
+        table_->dictionary(columns_[i]).Decode(key(entry, static_cast<int>(i)));
+    if (ve < prefix[i]) return -1;
+    if (prefix[i] < ve) return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+// Generic binary-search bounds over [0, n) with a tri-state comparator.
+template <typename Cmp>
+std::pair<int64_t, int64_t> Bounds(int64_t n, Cmp cmp) {
+  int64_t lo = 0, hi = n;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (cmp(mid) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  int64_t begin = lo;
+  hi = n;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (cmp(mid) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {begin, lo};
+}
+
+}  // namespace
+
+std::pair<int64_t, int64_t> CompositeIndex::EqualRange(
+    const std::vector<uint32_t>& prefix_codes) const {
+  std::vector<Value> prefix;
+  prefix.reserve(prefix_codes.size());
+  for (size_t i = 0; i < prefix_codes.size(); ++i) {
+    prefix.push_back(
+        table_->dictionary(columns_[i]).Decode(prefix_codes[i]));
+  }
+  return Bounds(num_entries_,
+                [&](int64_t e) { return ComparePrefix(e, prefix); });
+}
+
+std::pair<int64_t, int64_t> CompositeIndex::ValueRange(int64_t lo,
+                                                       int64_t hi) const {
+  const Dictionary& dict = table_->dictionary(columns_[0]);
+  auto leading = [&](int64_t e) -> const Value& {
+    return dict.Decode(key(e, 0));
+  };
+  const Value vlo(lo), vhi(hi);
+  return Bounds(num_entries_, [&](int64_t e) {
+    const Value& v = leading(e);
+    if (v < vlo) return -1;
+    if (vhi < v) return 1;
+    return 0;
+  });
+}
+
+}  // namespace gordian

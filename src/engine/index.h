@@ -1,0 +1,64 @@
+#ifndef GORDIAN_ENGINE_INDEX_H_
+#define GORDIAN_ENGINE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/row_store.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// A composite index: (key tuple, row id) entries ordered lexicographically
+// by the *values* of the key columns — the in-memory stand-in for a
+// clustered B-tree. (Dictionary codes are first-seen-ordered, so ordering by
+// value is what makes range scans meaningful.) Supports:
+//   - equality lookup on any prefix of the key columns,
+//   - value-range scans on the leading column (after an equality prefix of
+//     length 0; warehouse-style "BETWEEN" aggregations),
+//   - index-only ("covering") reads when a query touches key columns only.
+class CompositeIndex {
+ public:
+  CompositeIndex(const Table& table, const RowStore& store,
+                 std::vector<int> columns);
+
+  const std::vector<int>& columns() const { return columns_; }
+  std::string Describe() const;
+
+  // Entry range whose first prefix_codes.size() key components equal the
+  // given codes. O(log n) value comparisons.
+  std::pair<int64_t, int64_t> EqualRange(
+      const std::vector<uint32_t>& prefix_codes) const;
+
+  // Entry range whose leading column's (integer) value lies in [lo, hi].
+  std::pair<int64_t, int64_t> ValueRange(int64_t lo, int64_t hi) const;
+
+  int64_t num_entries() const { return num_entries_; }
+
+  // Key component `k` (a dictionary code) of entry `e`.
+  uint32_t key(int64_t e, int k) const {
+    return keys_[static_cast<size_t>(e) * columns_.size() + k];
+  }
+  int64_t row_id(int64_t e) const { return row_ids_[e]; }
+
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(keys_.capacity() * sizeof(uint32_t) +
+                                row_ids_.capacity() * sizeof(int64_t));
+  }
+
+ private:
+  // <0 / 0 / >0 comparison of entry `e`'s key prefix with decoded values.
+  int ComparePrefix(int64_t entry, const std::vector<Value>& prefix) const;
+
+  const Table* table_;
+  std::vector<int> columns_;
+  int64_t num_entries_ = 0;
+  std::vector<uint32_t> keys_;    // packed key tuples (codes), row-major
+  std::vector<int64_t> row_ids_;  // parallel to entries
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_ENGINE_INDEX_H_

@@ -1,0 +1,50 @@
+#ifndef GORDIAN_ENGINE_QUERY_H_
+#define GORDIAN_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gordian {
+
+// Equality predicate on one column (codes, i.e., post-dictionary).
+struct EqPredicate {
+  int col;
+  uint32_t code;
+};
+
+// Inclusive range predicate on one integer-valued column, expressed in value
+// space (dictionary codes are assigned in first-seen order and carry no
+// order semantics).
+struct RangePredicate {
+  int col = -1;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool active() const { return col >= 0; }
+};
+
+// A simple aggregation query: WHERE conjunctive equality predicates plus at
+// most one integer range predicate, aggregating (count + checksum) over the
+// projected columns. This is the fragment the Figure 16 warehouse workload
+// needs; richer SQL is out of scope for a profiling library.
+struct Query {
+  std::string label;
+  std::vector<EqPredicate> predicates;
+  RangePredicate range;
+  std::vector<int> projection;
+};
+
+// Result of executing a query, independent of the plan that produced it.
+struct QueryResult {
+  int64_t rows_matched = 0;
+  uint64_t checksum = 0;  // order-independent hash over projected values
+
+  friend bool operator==(const QueryResult& a, const QueryResult& b) {
+    return a.rows_matched == b.rows_matched && a.checksum == b.checksum;
+  }
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_ENGINE_QUERY_H_

@@ -1,0 +1,26 @@
+#ifndef GORDIAN_ENGINE_WORKLOAD_H_
+#define GORDIAN_ENGINE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// The 20-query "typical warehouse" workload of Section 4.4, generated
+// against the denormalized TPC-H-like fact table (GenerateTpchFact). The mix
+// mirrors the experiment's outcome profile:
+//  - per-order lookups and small aggregations (predicates on the discovered
+//    composite key's leading column) — these benefit from key indexes;
+//  - one query whose touched columns are entirely inside a discovered key
+//    (answered index-only, the paper's ~6x query 4);
+//  - broad segment/flag aggregations no key index helps — speedup ~1.
+// Predicate constants are drawn from the table's actual dictionaries so
+// every query matches rows.
+std::vector<Query> MakeWarehouseWorkload(const Table& fact, uint64_t seed);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_ENGINE_WORKLOAD_H_

@@ -1,0 +1,167 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gordian {
+
+
+Value ParseCsvField(const std::string& field, bool infer_types) {
+  if (!infer_types) return Value(field);
+  if (field.empty()) return Value::Null();
+  // Integer?
+  {
+    errno = 0;
+    char* end = nullptr;
+    long long i = std::strtoll(field.c_str(), &end, 10);
+    if (errno == 0 && end == field.c_str() + field.size()) {
+      return Value(static_cast<int64_t>(i));
+    }
+  }
+  // Double?
+  {
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(field.c_str(), &end);
+    if (errno == 0 && end == field.c_str() + field.size()) {
+      return Value(d);
+    }
+  }
+  return Value(field);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(std::ostream& os, const std::string& s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Status SplitCsvRecord(const std::string& line, char delimiter,
+                      std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields->push_back(std::move(cur));
+  return Status::OK();
+}
+
+Status ReadCsv(const std::string& path, const CsvOptions& options,
+               Table* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string line;
+  std::vector<std::string> fields;
+  int num_cols = -1;
+  std::unique_ptr<TableBuilder> builder;
+  std::vector<Value> row;
+  int64_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    Status s = SplitCsvRecord(line, options.delimiter, &fields);
+    if (!s.ok()) return s;
+
+    if (num_cols < 0) {
+      num_cols = static_cast<int>(fields.size());
+      std::vector<std::string> names;
+      if (options.has_header) {
+        names = fields;
+      } else {
+        for (int i = 0; i < num_cols; ++i) names.push_back("c" + std::to_string(i));
+      }
+      builder = std::make_unique<TableBuilder>(Schema(names));
+      if (options.has_header) continue;
+    }
+    if (static_cast<int>(fields.size()) != num_cols) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(num_cols) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    row.clear();
+    for (const std::string& f : fields) {
+      row.push_back(ParseCsvField(f, options.infer_types));
+    }
+    builder->AddRow(row);
+  }
+  if (builder == nullptr) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  *out = builder->Build();
+  return Status::OK();
+}
+
+Status WriteCsv(const Table& table, const CsvOptions& options,
+                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  if (options.has_header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      WriteField(os, table.schema().name(c), options.delimiter);
+    }
+    os << "\n";
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      const Value& v = table.value(r, c);
+      if (!v.is_null()) WriteField(os, v.ToString(), options.delimiter);
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace gordian

@@ -1,0 +1,41 @@
+#ifndef GORDIAN_TABLE_CSV_H_
+#define GORDIAN_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace gordian {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // When true the first record provides column names; otherwise columns are
+  // named c0, c1, ...
+  bool has_header = true;
+  // When true, fields that parse as integers/doubles become typed values;
+  // empty fields become NULL. When false every field is a string.
+  bool infer_types = true;
+};
+
+// Reads a CSV file into a Table. Supports RFC-4180 quoting ("..." fields
+// with "" escapes). All records must have the same number of fields.
+Status ReadCsv(const std::string& path, const CsvOptions& options, Table* out);
+
+// Writes a table as CSV (header row + one record per entity), quoting fields
+// that contain the delimiter, quotes, or newlines. NULLs are written as
+// empty fields.
+Status WriteCsv(const Table& table, const CsvOptions& options,
+                const std::string& path);
+
+// Parsing helpers exposed for reuse (streaming ingestion) and tests.
+// Splits one CSV record respecting RFC-4180 quoting.
+Status SplitCsvRecord(const std::string& line, char delimiter,
+                      std::vector<std::string>* fields);
+
+// Converts one raw field to a Value (type inference as in CsvOptions).
+Value ParseCsvField(const std::string& field, bool infer_types);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_CSV_H_

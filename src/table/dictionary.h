@@ -1,0 +1,52 @@
+#ifndef GORDIAN_TABLE_DICTIONARY_H_
+#define GORDIAN_TABLE_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "table/value.h"
+
+namespace gordian {
+
+// Bidirectional mapping between Values and dense uint32 codes for one
+// column. Codes are assigned in first-seen order; the code space of a
+// column is [0, size()).
+class Dictionary {
+ public:
+  // Returns the code for `v`, inserting it if new.
+  uint32_t Encode(const Value& v) {
+    auto it = to_code_.find(v);
+    if (it != to_code_.end()) return it->second;
+    uint32_t code = static_cast<uint32_t>(values_.size());
+    values_.push_back(v);
+    to_code_.emplace(values_.back(), code);
+    return code;
+  }
+
+  // Returns the code for `v`, or UINT32_MAX if absent.
+  uint32_t Lookup(const Value& v) const {
+    auto it = to_code_.find(v);
+    return it == to_code_.end() ? UINT32_MAX : it->second;
+  }
+
+  const Value& Decode(uint32_t code) const { return values_[code]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+  // Approximate heap footprint; used by memory accounting.
+  int64_t ApproxBytes() const {
+    int64_t b = static_cast<int64_t>(values_.capacity() * sizeof(Value));
+    b += static_cast<int64_t>(to_code_.size() *
+                              (sizeof(Value) + sizeof(uint32_t) + 16));
+    return b;
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, uint32_t, ValueHash> to_code_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_DICTIONARY_H_

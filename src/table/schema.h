@@ -1,0 +1,58 @@
+#ifndef GORDIAN_TABLE_SCHEMA_H_
+#define GORDIAN_TABLE_SCHEMA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/attribute_set.h"
+
+namespace gordian {
+
+struct ColumnDef {
+  std::string name;
+};
+
+// The list of attributes of an entity collection. Column positions are the
+// attribute numbers used throughout the GORDIAN core (AttributeSet bits).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+  explicit Schema(const std::vector<std::string>& names) {
+    for (const auto& n : names) columns_.push_back({n});
+  }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::string& name(int i) const { return columns_[i].name; }
+
+  // Position of the column with the given name, or -1.
+  int Find(const std::string& name) const {
+    for (int i = 0; i < num_columns(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return -1;
+  }
+
+  // Renders an attribute set with column names: "<Last Name, Phone>".
+  std::string Describe(const AttributeSet& attrs) const {
+    std::string out = "<";
+    bool first = true;
+    attrs.ForEach([&](int a) {
+      if (!first) out += ", ";
+      first = false;
+      out += a < num_columns() ? name(a) : ("#" + std::to_string(a));
+    });
+    out += ">";
+    return out;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_SCHEMA_H_

@@ -1,0 +1,216 @@
+#include "table/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace gordian {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'R', 'D', 'T'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Type tags in the dictionary section.
+enum class Tag : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void U8(uint8_t v) { os_.put(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  void ValueRecord(const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        U8(static_cast<uint8_t>(Tag::kNull));
+        break;
+      case ValueType::kInt64:
+        U8(static_cast<uint8_t>(Tag::kInt64));
+        U64(static_cast<uint64_t>(v.int64()));
+        break;
+      case ValueType::kDouble: {
+        U8(static_cast<uint8_t>(Tag::kDouble));
+        double d = v.dbl();
+        uint64_t bits;
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        U64(bits);
+        break;
+      }
+      case ValueType::kString:
+        U8(static_cast<uint8_t>(Tag::kString));
+        Str(v.str());
+        break;
+    }
+  }
+
+ private:
+  std::ostream& os_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  bool U8(uint8_t* v) {
+    int c = is_.get();
+    if (c == EOF) return false;
+    *v = static_cast<uint8_t>(c);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint8_t b;
+      if (!U8(&b)) return false;
+      *v |= static_cast<uint32_t>(b) << (8 * i);
+    }
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      uint8_t b;
+      if (!U8(&b)) return false;
+      *v |= static_cast<uint64_t>(b) << (8 * i);
+    }
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (len > (1u << 28)) return false;  // refuse absurd lengths
+    s->resize(len);
+    is_.read(s->data(), len);
+    return static_cast<uint32_t>(is_.gcount()) == len;
+  }
+  bool ValueRecord(Value* v) {
+    uint8_t tag;
+    if (!U8(&tag)) return false;
+    switch (static_cast<Tag>(tag)) {
+      case Tag::kNull:
+        *v = Value::Null();
+        return true;
+      case Tag::kInt64: {
+        uint64_t bits;
+        if (!U64(&bits)) return false;
+        *v = Value(static_cast<int64_t>(bits));
+        return true;
+      }
+      case Tag::kDouble: {
+        uint64_t bits;
+        if (!U64(&bits)) return false;
+        double d;
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        *v = Value(d);
+        return true;
+      }
+      case Tag::kString: {
+        std::string s;
+        if (!Str(&s)) return false;
+        *v = Value(std::move(s));
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  os.write(kMagic, 4);
+  Writer w(os);
+  w.U32(kFormatVersion);
+  w.U32(static_cast<uint32_t>(table.num_columns()));
+  w.U64(static_cast<uint64_t>(table.num_rows()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    w.Str(table.schema().name(c));
+    const Dictionary& dict = table.dictionary(c);
+    w.U32(dict.size());
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      w.ValueRecord(dict.Decode(code));
+    }
+    for (uint32_t code : table.column_codes(c)) w.U32(code);
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadTableFile(const std::string& path, Table* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (is.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a gordian table file: " + path);
+  }
+  Reader r(is);
+  uint32_t version, num_cols;
+  uint64_t num_rows;
+  if (!r.U32(&version) || version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported format version");
+  }
+  if (!r.U32(&num_cols) || !r.U64(&num_rows)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (num_cols > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
+    return Status::InvalidArgument("too many columns");
+  }
+  if (num_rows > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible row count");
+  }
+
+  std::vector<std::string> names(num_cols);
+  std::vector<std::vector<Value>> dicts(num_cols);
+  std::vector<std::vector<uint32_t>> codes(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    if (!r.Str(&names[c])) return Status::InvalidArgument("truncated name");
+    uint32_t dict_size;
+    if (!r.U32(&dict_size)) return Status::InvalidArgument("truncated dict");
+    dicts[c].resize(dict_size);
+    for (uint32_t i = 0; i < dict_size; ++i) {
+      if (!r.ValueRecord(&dicts[c][i])) {
+        return Status::InvalidArgument("corrupt dictionary value");
+      }
+    }
+    codes[c].resize(num_rows);
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      if (!r.U32(&codes[c][i])) {
+        return Status::InvalidArgument("truncated code vector");
+      }
+      if (codes[c][i] >= dict_size) {
+        return Status::InvalidArgument("code out of dictionary range");
+      }
+    }
+  }
+
+  TableBuilder builder{Schema(names)};
+  std::vector<Value> row(num_cols);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      row[c] = dicts[c][codes[c][i]];
+    }
+    builder.AddRow(row);
+  }
+  *out = builder.Build();
+  return Status::OK();
+}
+
+}  // namespace gordian

@@ -1,0 +1,31 @@
+#ifndef GORDIAN_TABLE_SERIALIZE_H_
+#define GORDIAN_TABLE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Compact binary persistence for tables, so repeated profiling runs skip
+// CSV/XML parsing and dictionary rebuilding. The format is a single file:
+//
+//   magic "GRDT", format version (u32),
+//   column count (u32), row count (u64),
+//   per column: name, dictionary (typed values), then the code vector.
+//
+// Strings are length-prefixed; integers are little-endian fixed width.
+// Loading validates the magic, version, type tags, code ranges, and
+// truncation, returning InvalidArgument rather than crashing on corrupt
+// input (fuzz-style tests exercise this).
+
+// Writes `table` to `path`, overwriting it.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+// Reads a table written by WriteTableFile.
+Status ReadTableFile(const std::string& path, Table* out);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_SERIALIZE_H_

@@ -1,0 +1,200 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/hashing.h"
+#include "common/random.h"
+
+namespace gordian {
+
+namespace {
+
+// Sorts row indices lexicographically by the codes of the given columns.
+void SortRowsBy(const Table& t, const std::vector<int>& cols,
+                std::vector<int64_t>& rows) {
+  std::sort(rows.begin(), rows.end(), [&](int64_t a, int64_t b) {
+    for (int c : cols) {
+      uint32_t ca = t.code(a, c), cb = t.code(b, c);
+      if (ca != cb) return ca < cb;
+    }
+    return false;
+  });
+}
+
+bool RowsEqualOn(const Table& t, const std::vector<int>& cols, int64_t a,
+                 int64_t b) {
+  for (int c : cols) {
+    if (t.code(a, c) != t.code(b, c)) return false;
+  }
+  return true;
+}
+
+std::vector<int> ToColumnList(const AttributeSet& attrs) {
+  std::vector<int> cols;
+  attrs.ForEach([&](int a) { cols.push_back(a); });
+  return cols;
+}
+
+}  // namespace
+
+int64_t Table::ColumnCardinality(int col) const {
+  if (cardinality_cache_.empty()) {
+    cardinality_cache_.assign(num_columns(), -1);
+  }
+  if (cardinality_cache_[col] >= 0) return cardinality_cache_[col];
+  // Distinct codes via a presence bitmap over the (dense) code space.
+  std::vector<bool> seen(columns_[col].dict->size(), false);
+  int64_t distinct = 0;
+  for (uint32_t c : columns_[col].codes) {
+    if (!seen[c]) {
+      seen[c] = true;
+      ++distinct;
+    }
+  }
+  cardinality_cache_[col] = distinct;
+  return distinct;
+}
+
+int64_t Table::DistinctCount(const AttributeSet& attrs) const {
+  if (num_rows_ == 0) return 0;
+  std::vector<int> cols = ToColumnList(attrs);
+  if (cols.empty()) return 1;
+  if (cols.size() == 1) return ColumnCardinality(cols[0]);
+  std::vector<int64_t> rows(num_rows_);
+  std::iota(rows.begin(), rows.end(), int64_t{0});
+  SortRowsBy(*this, cols, rows);
+  int64_t distinct = 1;
+  for (int64_t i = 1; i < num_rows_; ++i) {
+    if (!RowsEqualOn(*this, cols, rows[i - 1], rows[i])) ++distinct;
+  }
+  return distinct;
+}
+
+int64_t Table::DistinctCountFast(const AttributeSet& attrs) const {
+  if (num_rows_ == 0) return 0;
+  std::vector<int> cols = ToColumnList(attrs);
+  if (cols.empty()) return 1;
+  if (cols.size() == 1) return ColumnCardinality(cols[0]);
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> seen;
+  seen.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    Fingerprint128 fp;
+    for (int c : cols) fp.Update(code(r, c));
+    seen.insert(fp);
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+bool Table::IsUnique(const AttributeSet& attrs) const {
+  if (num_rows_ <= 1) return true;
+  std::vector<int> cols = ToColumnList(attrs);
+  if (cols.empty()) return false;
+  std::unordered_set<Fingerprint128, Fingerprint128Hash> seen;
+  seen.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    Fingerprint128 fp;
+    for (int c : cols) fp.Update(code(r, c));
+    if (!seen.insert(fp).second) return false;
+  }
+  return true;
+}
+
+double Table::Strength(const AttributeSet& attrs) const {
+  if (num_rows_ == 0) return 1.0;
+  return static_cast<double>(DistinctCount(attrs)) /
+         static_cast<double>(num_rows_);
+}
+
+Table Table::SampleRows(int64_t count, uint64_t seed) const {
+  count = std::min(count, num_rows_);
+  // Choose `count` distinct row positions via a partial Fisher-Yates over
+  // the index array, then restore original order so the sample preserves
+  // the table's row order.
+  std::vector<int64_t> idx(num_rows_);
+  std::iota(idx.begin(), idx.end(), int64_t{0});
+  Random rng(seed);
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t j = i + static_cast<int64_t>(
+                        rng.Uniform(static_cast<uint64_t>(num_rows_ - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(count);
+  std::sort(idx.begin(), idx.end());
+
+  Table out;
+  out.schema_ = schema_;
+  out.num_rows_ = count;
+  out.columns_.reserve(columns_.size());
+  for (const ColumnData& col : columns_) {
+    ColumnData sc;
+    sc.dict = col.dict;
+    sc.codes.reserve(count);
+    for (int64_t r : idx) sc.codes.push_back(col.codes[r]);
+    out.columns_.push_back(std::move(sc));
+  }
+  return out;
+}
+
+Table Table::ProjectColumns(int num_cols) const {
+  std::vector<int> cols(num_cols);
+  std::iota(cols.begin(), cols.end(), 0);
+  return SelectColumns(cols);
+}
+
+Table Table::SelectColumns(const std::vector<int>& cols) const {
+  Table out;
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (int c : cols) defs.push_back(schema_.column(c));
+  out.schema_ = Schema(std::move(defs));
+  out.num_rows_ = num_rows_;
+  for (int c : cols) out.columns_.push_back(columns_[c]);
+  return out;
+}
+
+int64_t Table::ApproxBytes() const {
+  int64_t b = 0;
+  for (const ColumnData& col : columns_) {
+    b += static_cast<int64_t>(col.codes.capacity() * sizeof(uint32_t));
+    b += col.dict->ApproxBytes();
+  }
+  return b;
+}
+
+std::string Table::RowToString(int64_t row) const {
+  std::string out;
+  for (int c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += "|";
+    out += value(row, c).ToString();
+  }
+  return out;
+}
+
+TableBuilder::TableBuilder(Schema schema) {
+  table_.schema_ = std::move(schema);
+  table_.columns_.resize(table_.schema_.num_columns());
+  for (auto& col : table_.columns_) {
+    col.dict = std::make_shared<Dictionary>();
+  }
+}
+
+void TableBuilder::AddRow(const std::vector<Value>& row) {
+  assert(static_cast<int>(row.size()) == table_.schema_.num_columns());
+  for (int c = 0; c < table_.schema_.num_columns(); ++c) {
+    table_.columns_[c].codes.push_back(table_.columns_[c].dict->Encode(row[c]));
+  }
+  ++num_rows_;
+}
+
+Table TableBuilder::Build() {
+  table_.num_rows_ = num_rows_;
+  Table out = std::move(table_);
+  table_ = Table();
+  num_rows_ = 0;
+  return out;
+}
+
+}  // namespace gordian

@@ -1,0 +1,119 @@
+#ifndef GORDIAN_TABLE_TABLE_H_
+#define GORDIAN_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "table/dictionary.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace gordian {
+
+// An immutable, in-memory, dictionary-encoded column collection — the
+// "collection of entities" that GORDIAN profiles. Each column stores one
+// uint32 code per row; the per-column Dictionary maps codes back to Values.
+//
+// Row samples of a Table share the parent's dictionaries (codes keep their
+// meaning), so a sample-discovered key can be re-validated against the full
+// table cheaply.
+class Table {
+ public:
+  Table() = default;
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  uint32_t code(int64_t row, int col) const { return columns_[col].codes[row]; }
+  const Value& value(int64_t row, int col) const {
+    return columns_[col].dict->Decode(code(row, col));
+  }
+  const std::vector<uint32_t>& column_codes(int col) const {
+    return columns_[col].codes;
+  }
+  const Dictionary& dictionary(int col) const { return *columns_[col].dict; }
+
+  // Number of distinct values of `col` among this table's rows. For a table
+  // built directly by TableBuilder this equals dictionary(col).size(); for a
+  // sample it is typically smaller. O(rows) on first call per column; cached.
+  int64_t ColumnCardinality(int col) const;
+
+  // Exact number of distinct rows of the projection onto `attrs`
+  // (sort-based; no hashing, no collisions). Empty `attrs` yields
+  // min(1, num_rows).
+  int64_t DistinctCount(const AttributeSet& attrs) const;
+
+  // Same count via 128-bit row fingerprints: O(rows) instead of
+  // O(rows log rows), with an astronomically small (2^-64-ish) collision
+  // risk. Used by strength validation over many keys; tests cross-check it
+  // against DistinctCount.
+  int64_t DistinctCountFast(const AttributeSet& attrs) const;
+
+  // True iff no two rows agree on every attribute in `attrs`, i.e., `attrs`
+  // is a (composite) key of this table. Equivalent to
+  // DistinctCount(attrs) == num_rows but exits early on the first duplicate.
+  bool IsUnique(const AttributeSet& attrs) const;
+
+  // Strength of `attrs` as defined in Section 3.9 of the paper:
+  // DistinctCount(attrs) / num_rows. 1.0 for true keys. Returns 1.0 for an
+  // empty table.
+  double Strength(const AttributeSet& attrs) const;
+
+  // A new table containing `count` rows drawn uniformly without replacement
+  // (deterministic in `seed`), sharing this table's dictionaries. `count` is
+  // clamped to num_rows. Row order is preserved.
+  Table SampleRows(int64_t count, uint64_t seed) const;
+
+  // A new table with only the first `count` columns (shared dictionaries).
+  // Used by the attribute-count sweeps (paper Figures 12 and 13).
+  Table ProjectColumns(int num_cols) const;
+
+  // A new table restricted to the given column positions, in the given
+  // order (shared dictionaries).
+  Table SelectColumns(const std::vector<int>& cols) const;
+
+  // Approximate heap footprint of code vectors + dictionaries.
+  int64_t ApproxBytes() const;
+
+  // Renders row `row` as "v0|v1|...".
+  std::string RowToString(int64_t row) const;
+
+ private:
+  friend class TableBuilder;
+
+  struct ColumnData {
+    std::shared_ptr<Dictionary> dict;
+    std::vector<uint32_t> codes;
+  };
+
+  Schema schema_;
+  std::vector<ColumnData> columns_;
+  int64_t num_rows_ = 0;
+  mutable std::vector<int64_t> cardinality_cache_;
+};
+
+// Row-at-a-time construction of a Table.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  // Appends one entity; `row` must have schema().num_columns() values.
+  void AddRow(const std::vector<Value>& row);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  // Finalizes and returns the table; the builder is left empty.
+  Table Build();
+
+ private:
+  Table table_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_TABLE_H_

@@ -1,0 +1,89 @@
+#ifndef GORDIAN_TABLE_VALUE_H_
+#define GORDIAN_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+enum class ValueType { kNull, kInt64, kDouble, kString };
+
+// A single attribute value. The table layer dictionary-encodes values into
+// dense uint32 codes, so Value only appears at the boundaries (loading,
+// generation, printing); the algorithms operate on codes.
+//
+// NULL is modeled as a first-class value that compares equal to itself,
+// i.e., two rows that are both NULL in a column "match" there. This is the
+// conservative choice for key discovery: a column containing two NULLs can
+// never be part of a key by itself.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt64;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+
+  uint64_t Hash() const {
+    switch (v_.index()) {
+      case 0: return 0x6e61736eULL;  // arbitrary tag for NULL
+      case 1: return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
+      case 2: {
+        double d = std::get<double>(v_);
+        if (d == 0.0) d = 0.0;  // -0.0 == 0.0 must hash identically
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits ^ 0xd0e1f2a3ULL);
+      }
+      default:
+        return HashBytes(std::get<std::string>(v_));
+    }
+  }
+
+  std::string ToString() const {
+    switch (v_.index()) {
+      case 0: return "NULL";
+      case 1: return std::to_string(std::get<int64_t>(v_));
+      case 2: return std::to_string(std::get<double>(v_));
+      default: return std::get<std::string>(v_);
+    }
+  }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_VALUE_H_

@@ -1,0 +1,405 @@
+#include "table/xml_lite.h"
+
+#include <cctype>
+#include <cstring>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gordian {
+
+namespace {
+
+// Cursor over the XML text with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool StartsWith(const char* s) const {
+    return text_.compare(pos_, std::strlen(s), s) == 0;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < text_.size(); ++i) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string Slice(size_t from, size_t to) const {
+    return text_.substr(from, to - from);
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("xml line " + std::to_string(line_) + ": " +
+                                   msg);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+Status DecodeEntities(const Cursor& cur, const std::string& raw,
+                      std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out->push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string::npos) return cur.Error("unterminated entity");
+    std::string name = raw.substr(i + 1, semi - i - 1);
+    if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (!name.empty() && name[0] == '#') {
+      long code = std::strtol(name.c_str() + 1, nullptr,
+                              name.size() > 1 && name[1] == 'x' ? 0 : 10);
+      if (code <= 0 || code > 0x10FFFF) return cur.Error("bad char reference");
+      // ASCII only; wider code points are passed through as '?' — profiling
+      // cares about equality, not rendering.
+      out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+    } else {
+      return cur.Error("unknown entity &" + name + ";");
+    }
+    i = semi;
+  }
+  return Status::OK();
+}
+
+Value InferValue(const std::string& text) {
+  if (text.empty()) return Value::Null();
+  {
+    errno = 0;
+    char* end = nullptr;
+    long long i = std::strtoll(text.c_str(), &end, 10);
+    if (errno == 0 && end == text.c_str() + text.size()) {
+      return Value(static_cast<int64_t>(i));
+    }
+  }
+  {
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(text.c_str(), &end);
+    if (errno == 0 && end == text.c_str() + text.size()) return Value(d);
+  }
+  return Value(text);
+}
+
+// Trims surrounding whitespace (inter-element text is insignificant here).
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Skips comments and processing instructions; returns true if one was
+// skipped.
+Status SkipMisc(Cursor& cur, bool* skipped) {
+  *skipped = false;
+  if (cur.StartsWith("<!--")) {
+    cur.Advance(4);
+    while (!cur.AtEnd() && !cur.StartsWith("-->")) cur.Advance();
+    if (cur.AtEnd()) return cur.Error("unterminated comment");
+    cur.Advance(3);
+    *skipped = true;
+  } else if (cur.StartsWith("<?")) {
+    cur.Advance(2);
+    while (!cur.AtEnd() && !cur.StartsWith("?>")) cur.Advance();
+    if (cur.AtEnd()) return cur.Error("unterminated processing instruction");
+    cur.Advance(2);
+    *skipped = true;
+  }
+  return Status::OK();
+}
+
+Status ParseName(Cursor& cur, std::string* name) {
+  size_t start = cur.pos();
+  while (!cur.AtEnd() && IsNameChar(cur.Peek())) cur.Advance();
+  if (cur.pos() == start) return cur.Error("expected a name");
+  *name = cur.Slice(start, cur.pos());
+  return Status::OK();
+}
+
+struct OpenTag {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  bool self_closing = false;
+};
+
+// Parses "<name attr='v' ...>" with the cursor on '<'.
+Status ParseOpenTag(Cursor& cur, OpenTag* tag) {
+  cur.Advance();  // '<'
+  Status s = ParseName(cur, &tag->name);
+  if (!s.ok()) return s;
+  while (true) {
+    cur.SkipWhitespace();
+    if (cur.AtEnd()) return cur.Error("unterminated tag <" + tag->name);
+    if (cur.Peek() == '>') {
+      cur.Advance();
+      return Status::OK();
+    }
+    if (cur.StartsWith("/>")) {
+      cur.Advance(2);
+      tag->self_closing = true;
+      return Status::OK();
+    }
+    std::string attr;
+    s = ParseName(cur, &attr);
+    if (!s.ok()) return s;
+    cur.SkipWhitespace();
+    if (cur.AtEnd() || cur.Peek() != '=') return cur.Error("expected '='");
+    cur.Advance();
+    cur.SkipWhitespace();
+    if (cur.AtEnd() || (cur.Peek() != '"' && cur.Peek() != '\'')) {
+      return cur.Error("expected a quoted attribute value");
+    }
+    char quote = cur.Peek();
+    cur.Advance();
+    size_t start = cur.pos();
+    while (!cur.AtEnd() && cur.Peek() != quote) cur.Advance();
+    if (cur.AtEnd()) return cur.Error("unterminated attribute value");
+    std::string raw = cur.Slice(start, cur.pos());
+    cur.Advance();
+    std::string decoded;
+    s = DecodeEntities(cur, raw, &decoded);
+    if (!s.ok()) return s;
+    tag->attributes.emplace_back(attr, decoded);
+  }
+}
+
+Status AddField(const Cursor& cur, const std::string& path, Value value,
+                Record* record) {
+  for (const auto& [existing, v] : *record) {
+    if (existing == path) {
+      return cur.Error("repeated field '" + path +
+                       "' in one entity (set-valued children are not "
+                       "representable as a table)");
+    }
+  }
+  record->emplace_back(path, std::move(value));
+  return Status::OK();
+}
+
+// Parses the element whose open tag was just consumed, adding leaf fields
+// under `prefix` to `record`. Returns at the matching close tag.
+Status ParseElementBody(Cursor& cur, const OpenTag& tag,
+                        const std::string& prefix, Record* record) {
+  const std::string path =
+      prefix.empty() ? tag.name : prefix + "/" + tag.name;
+  for (const auto& [attr, value] : tag.attributes) {
+    Status s = AddField(cur, path + "/@" + attr, InferValue(value), record);
+    if (!s.ok()) return s;
+  }
+  if (tag.self_closing) return Status::OK();
+
+  std::string text;
+  bool has_children = false;
+  while (true) {
+    if (cur.AtEnd()) return cur.Error("missing </" + tag.name + ">");
+    if (cur.Peek() == '<') {
+      bool skipped = false;
+      Status s = SkipMisc(cur, &skipped);
+      if (!s.ok()) return s;
+      if (skipped) continue;
+      if (cur.StartsWith("</")) {
+        cur.Advance(2);
+        std::string close;
+        s = ParseName(cur, &close);
+        if (!s.ok()) return s;
+        cur.SkipWhitespace();
+        if (cur.AtEnd() || cur.Peek() != '>') return cur.Error("expected '>'");
+        cur.Advance();
+        if (close != tag.name) {
+          return cur.Error("mismatched </" + close + ">, expected </" +
+                           tag.name + ">");
+        }
+        break;
+      }
+      OpenTag child;
+      s = ParseOpenTag(cur, &child);
+      if (!s.ok()) return s;
+      has_children = true;
+      s = ParseElementBody(cur, child, path, record);
+      if (!s.ok()) return s;
+    } else {
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != '<') cur.Advance();
+      text += cur.Slice(start, cur.pos());
+    }
+  }
+
+  std::string trimmed = Trim(text);
+  if (!trimmed.empty()) {
+    if (has_children) {
+      return cur.Error("mixed content in <" + tag.name +
+                       "> is not representable as a table");
+    }
+    std::string decoded;
+    Status s = DecodeEntities(cur, trimmed, &decoded);
+    if (!s.ok()) return s;
+    return AddField(cur, path, InferValue(decoded), record);
+  }
+  if (!has_children && tag.attributes.empty()) {
+    // An empty leaf: a present-but-NULL field.
+    return AddField(cur, path, Value::Null(), record);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseXmlCollection(const std::string& xml, std::vector<Record>* out) {
+  out->clear();
+  Cursor cur(xml);
+
+  // Prolog / comments, then the root element's open tag.
+  cur.SkipWhitespace();
+  while (!cur.AtEnd()) {
+    bool skipped = false;
+    Status s = SkipMisc(cur, &skipped);
+    if (!s.ok()) return s;
+    if (!skipped) break;
+    cur.SkipWhitespace();
+  }
+  if (cur.AtEnd() || cur.Peek() != '<') {
+    return cur.Error("expected the root element");
+  }
+  OpenTag root;
+  Status s = ParseOpenTag(cur, &root);
+  if (!s.ok()) return s;
+  if (root.self_closing) return Status::OK();  // empty collection
+
+  // Children of the root are the entities.
+  while (true) {
+    cur.SkipWhitespace();
+    if (cur.AtEnd()) return cur.Error("missing </" + root.name + ">");
+    bool skipped = false;
+    s = SkipMisc(cur, &skipped);
+    if (!s.ok()) return s;
+    if (skipped) continue;
+    if (cur.StartsWith("</")) {
+      cur.Advance(2);
+      std::string close;
+      s = ParseName(cur, &close);
+      if (!s.ok()) return s;
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || cur.Peek() != '>') return cur.Error("expected '>'");
+      cur.Advance();
+      if (close != root.name) {
+        return cur.Error("mismatched </" + close + ">");
+      }
+      break;
+    }
+    if (cur.Peek() != '<') {
+      return cur.Error("stray text between entities");
+    }
+    OpenTag entity;
+    s = ParseOpenTag(cur, &entity);
+    if (!s.ok()) return s;
+    Record record;
+    // The entity element's own name is not part of field paths: fields are
+    // named relative to the entity.
+    OpenTag anonymous = entity;
+    anonymous.name.clear();
+    // Attributes of the entity element itself.
+    for (const auto& [attr, value] : entity.attributes) {
+      s = AddField(cur, "@" + attr, InferValue(value), &record);
+      if (!s.ok()) return s;
+    }
+    if (!entity.self_closing) {
+      // Parse children with an empty prefix; reuse ParseElementBody by
+      // faking a tag with no attributes (already handled above).
+      OpenTag shell;
+      shell.name = entity.name;
+      Status body = [&]() -> Status {
+        std::string text;
+        bool has_children = false;
+        while (true) {
+          if (cur.AtEnd()) return cur.Error("missing </" + entity.name + ">");
+          if (cur.Peek() == '<') {
+            bool skipped2 = false;
+            Status st = SkipMisc(cur, &skipped2);
+            if (!st.ok()) return st;
+            if (skipped2) continue;
+            if (cur.StartsWith("</")) {
+              cur.Advance(2);
+              std::string close;
+              st = ParseName(cur, &close);
+              if (!st.ok()) return st;
+              cur.SkipWhitespace();
+              if (cur.AtEnd() || cur.Peek() != '>') {
+                return cur.Error("expected '>'");
+              }
+              cur.Advance();
+              if (close != entity.name) {
+                return cur.Error("mismatched </" + close + ">");
+              }
+              return Status::OK();
+            }
+            OpenTag child;
+            st = ParseOpenTag(cur, &child);
+            if (!st.ok()) return st;
+            has_children = true;
+            st = ParseElementBody(cur, child, "", &record);
+            if (!st.ok()) return st;
+          } else {
+            size_t start = cur.pos();
+            while (!cur.AtEnd() && cur.Peek() != '<') cur.Advance();
+            text += cur.Slice(start, cur.pos());
+          }
+          if (!has_children && !Trim(text).empty()) {
+            return cur.Error("entity <" + entity.name +
+                             "> has bare text instead of fields");
+          }
+        }
+      }();
+      if (!body.ok()) return body;
+    }
+    if (record.empty()) {
+      return cur.Error("entity <" + entity.name + "> has no fields");
+    }
+    out->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+Status ReadXmlCollection(const std::string& path, Table* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<Record> records;
+  Status s = ParseXmlCollection(buffer.str(), &records);
+  if (!s.ok()) return s;
+  if (records.empty()) {
+    return Status::InvalidArgument("no entities in " + path);
+  }
+  return FlattenRecords(records, out);
+}
+
+}  // namespace gordian

@@ -1,0 +1,47 @@
+#ifndef GORDIAN_TABLE_XML_LITE_H_
+#define GORDIAN_TABLE_XML_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/records.h"
+#include "table/table.h"
+
+namespace gordian {
+
+// Minimal XML reader for the paper's second entity-collection use case:
+// "key leaf-node sets in a collection of XML documents with a common
+// schema". The supported dialect is deliberately small but covers real
+// export formats of that shape:
+//
+//   <collection>
+//     <doc id="7">
+//       <name>Ada</name>
+//       <address><city>Zurich</city><zip>8001</zip></address>
+//     </doc>
+//     ...
+//   </collection>
+//
+// Every child of the root element is one entity. Leaf text nodes become
+// fields named by their slash-joined path ("address/city"); attributes
+// become "@"-prefixed fields ("@id", "address/@kind"). Character entities
+// &lt; &gt; &amp; &quot; &apos; are decoded. Comments (<!-- -->) and
+// processing instructions/prolog (<? ?>) are skipped. Not supported (and
+// rejected or ignored rather than misparsed): CDATA, DTDs, namespaces
+// beyond treating ':' as a name character, and repeated fields within one
+// entity (a genuine limitation: set-valued children have no tabular
+// equivalent; the second occurrence is an error).
+//
+// Values are type-inferred like the CSV reader's fields (int64, double,
+// else string); missing fields become NULL across the collection.
+
+// Parses an XML document-collection string into flat records.
+Status ParseXmlCollection(const std::string& xml, std::vector<Record>* out);
+
+// Reads a file and assembles the table (ParseXmlCollection + FlattenRecords).
+Status ReadXmlCollection(const std::string& path, Table* out);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_XML_LITE_H_

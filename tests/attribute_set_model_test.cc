@@ -1,0 +1,164 @@
+// Reference-model property test: AttributeSet against std::bitset<128>
+// under long random operation sequences. The bitmap is the innermost data
+// structure of the whole library, so it gets the heaviest differential
+// testing.
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "common/attribute_set.h"
+#include "common/random.h"
+
+namespace gordian {
+namespace {
+
+class Model {
+ public:
+  void Set(int i) { bits_.set(i); }
+  void Reset(int i) { bits_.reset(i); }
+  bool Test(int i) const { return bits_.test(i); }
+  int Count() const { return static_cast<int>(bits_.count()); }
+  bool Empty() const { return bits_.none(); }
+  bool Covers(const Model& other) const {
+    return (other.bits_ & ~bits_).none();
+  }
+  bool Intersects(const Model& other) const {
+    return (bits_ & other.bits_).any();
+  }
+  Model Union(const Model& o) const { return Model(bits_ | o.bits_); }
+  Model Intersect(const Model& o) const { return Model(bits_ & o.bits_); }
+  Model Minus(const Model& o) const { return Model(bits_ & ~o.bits_); }
+  int First() const {
+    for (int i = 0; i < 128; ++i) {
+      if (bits_.test(i)) return i;
+    }
+    return -1;
+  }
+  int Next(int after) const {
+    for (int i = after + 1; i < 128; ++i) {
+      if (bits_.test(i)) return i;
+    }
+    return -1;
+  }
+
+  Model() = default;
+  explicit Model(std::bitset<128> b) : bits_(b) {}
+  std::bitset<128> bits_;
+};
+
+void ExpectAgree(const AttributeSet& s, const Model& m) {
+  ASSERT_EQ(s.Count(), m.Count());
+  ASSERT_EQ(s.Empty(), m.Empty());
+  ASSERT_EQ(s.First(), m.First());
+  for (int i = 0; i < 128; i += 7) {
+    ASSERT_EQ(s.Test(i), m.Test(i)) << i;
+    ASSERT_EQ(s.Next(i), m.Next(i)) << i;
+  }
+}
+
+struct SeedCase {
+  uint64_t seed;
+  int steps;
+};
+
+class AttributeSetModel : public ::testing::TestWithParam<SeedCase> {};
+
+TEST_P(AttributeSetModel, LongOperationSequencesAgree) {
+  Random rng(GetParam().seed);
+  AttributeSet a, b;
+  Model ma, mb;
+  for (int step = 0; step < GetParam().steps; ++step) {
+    int op = static_cast<int>(rng.Uniform(8));
+    int bit = static_cast<int>(rng.Uniform(128));
+    switch (op) {
+      case 0:
+        a.Set(bit);
+        ma.Set(bit);
+        break;
+      case 1:
+        a.Reset(bit);
+        ma.Reset(bit);
+        break;
+      case 2:
+        b.Set(bit);
+        mb.Set(bit);
+        break;
+      case 3:
+        b.Reset(bit);
+        mb.Reset(bit);
+        break;
+      case 4: {
+        AttributeSet u = a | b;
+        Model mu = ma.Union(mb);
+        ExpectAgree(u, mu);
+        break;
+      }
+      case 5: {
+        AttributeSet i = a & b;
+        Model mi = ma.Intersect(mb);
+        ExpectAgree(i, mi);
+        break;
+      }
+      case 6: {
+        AttributeSet d = a - b;
+        Model md = ma.Minus(mb);
+        ExpectAgree(d, md);
+        break;
+      }
+      default:
+        ASSERT_EQ(a.Covers(b), ma.Covers(mb));
+        ASSERT_EQ(b.Covers(a), mb.Covers(ma));
+        ASSERT_EQ(a.Intersects(b), ma.Intersects(mb));
+        ASSERT_EQ(a == b, ma.bits_ == mb.bits_);
+        break;
+    }
+    ExpectAgree(a, ma);
+    ExpectAgree(b, mb);
+  }
+
+  // ForEach enumerates exactly the model's members, in order.
+  std::vector<int> members;
+  a.ForEach([&](int i) { members.push_back(i); });
+  std::vector<int> expected;
+  for (int i = 0; i < 128; ++i) {
+    if (ma.Test(i)) expected.push_back(i);
+  }
+  EXPECT_EQ(members, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttributeSetModel,
+                         ::testing::Values(SeedCase{1, 2000}, SeedCase{2, 2000},
+                                           SeedCase{3, 2000}, SeedCase{4, 500},
+                                           SeedCase{5, 500}, SeedCase{6, 500},
+                                           SeedCase{7, 500}, SeedCase{8, 500}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Ordering is consistent with equality and total over random sets.
+TEST(AttributeSetModelExtra, OrderingIsATotalOrder) {
+  Random rng(99);
+  std::vector<AttributeSet> sets;
+  for (int i = 0; i < 50; ++i) {
+    AttributeSet s;
+    for (int b = 0; b < 128; ++b) {
+      if (rng.Bernoulli(0.2)) s.Set(b);
+    }
+    sets.push_back(s);
+  }
+  for (const AttributeSet& x : sets) {
+    EXPECT_FALSE(x < x);
+    for (const AttributeSet& y : sets) {
+      EXPECT_EQ(x == y, !(x < y) && !(y < x));
+      for (const AttributeSet& z : sets) {
+        if (x < y && y < z) {
+          EXPECT_TRUE(x < z);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,119 @@
+#include "common/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gordian {
+namespace {
+
+TEST(AttributeSet, DefaultIsEmpty) {
+  AttributeSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+}
+
+TEST(AttributeSet, SetTestReset) {
+  AttributeSet s;
+  for (int i : {0, 1, 63, 64, 65, 127}) {
+    EXPECT_FALSE(s.Test(i));
+    s.Set(i);
+    EXPECT_TRUE(s.Test(i));
+  }
+  EXPECT_EQ(s.Count(), 6);
+  s.Reset(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_EQ(s.Count(), 5);
+}
+
+TEST(AttributeSet, InitializerListAndSingle) {
+  AttributeSet s{2, 5, 70};
+  EXPECT_TRUE(s.Test(2));
+  EXPECT_TRUE(s.Test(5));
+  EXPECT_TRUE(s.Test(70));
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_EQ(AttributeSet::Single(99).Count(), 1);
+  EXPECT_TRUE(AttributeSet::Single(99).Test(99));
+}
+
+TEST(AttributeSet, FirstNAndRange) {
+  EXPECT_EQ(AttributeSet::FirstN(0).Count(), 0);
+  EXPECT_EQ(AttributeSet::FirstN(70).Count(), 70);
+  EXPECT_TRUE(AttributeSet::FirstN(70).Test(69));
+  EXPECT_FALSE(AttributeSet::FirstN(70).Test(70));
+  AttributeSet r = AttributeSet::Range(60, 68);
+  EXPECT_EQ(r.Count(), 8);
+  EXPECT_TRUE(r.Test(60));
+  EXPECT_TRUE(r.Test(67));
+  EXPECT_FALSE(r.Test(68));
+}
+
+TEST(AttributeSet, CoversIsSupersetRelation) {
+  AttributeSet big{1, 2, 3, 64};
+  AttributeSet small{2, 64};
+  EXPECT_TRUE(big.Covers(small));
+  EXPECT_FALSE(small.Covers(big));
+  EXPECT_TRUE(big.Covers(big));  // non-strict
+  EXPECT_TRUE(big.Covers(AttributeSet()));
+  EXPECT_FALSE(AttributeSet().Covers(small));
+}
+
+TEST(AttributeSet, Intersects) {
+  AttributeSet a{1, 65};
+  AttributeSet b{65};
+  AttributeSet c{2, 66};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(AttributeSet()));
+}
+
+TEST(AttributeSet, SetAlgebra) {
+  AttributeSet a{1, 2, 64};
+  AttributeSet b{2, 64, 100};
+  EXPECT_EQ((a | b), (AttributeSet{1, 2, 64, 100}));
+  EXPECT_EQ((a & b), (AttributeSet{2, 64}));
+  EXPECT_EQ((a - b), AttributeSet{1});
+  EXPECT_EQ((b - a), AttributeSet{100});
+}
+
+TEST(AttributeSet, FirstAndNextIterateAscending) {
+  AttributeSet s{3, 64, 127};
+  EXPECT_EQ(s.First(), 3);
+  EXPECT_EQ(s.Next(3), 64);
+  EXPECT_EQ(s.Next(64), 127);
+  EXPECT_EQ(s.Next(127), -1);
+}
+
+TEST(AttributeSet, ForEachVisitsAllInOrder) {
+  AttributeSet s{0, 7, 63, 64, 126};
+  std::vector<int> seen;
+  s.ForEach([&](int a) { seen.push_back(a); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 7, 63, 64, 126}));
+}
+
+TEST(AttributeSet, OrderingIsTotalAndConsistent) {
+  std::set<AttributeSet> sorted;
+  sorted.insert(AttributeSet{1});
+  sorted.insert(AttributeSet{2});
+  sorted.insert(AttributeSet{1, 2});
+  sorted.insert(AttributeSet{64});
+  EXPECT_EQ(sorted.size(), 4u);
+  EXPECT_FALSE(AttributeSet{1} < AttributeSet{1});
+}
+
+TEST(AttributeSet, HashDiffersAcrossNearbySets) {
+  // Not a strict guarantee, but these must not all collide.
+  std::set<size_t> hashes;
+  for (int i = 0; i < 128; ++i) hashes.insert(AttributeSet::Single(i).Hash());
+  EXPECT_GT(hashes.size(), 120u);
+}
+
+TEST(AttributeSet, ToString) {
+  EXPECT_EQ((AttributeSet{0, 3, 70}).ToString(), "{0,3,70}");
+  EXPECT_EQ(AttributeSet().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,70 @@
+// Tests for the discovery budget guards (GordianOptions::max_non_keys and
+// time_budget_seconds): the safety valves for adversarial inputs whose
+// non-key antichain is combinatorial.
+
+#include <gtest/gtest.h>
+
+#include "core/gordian.h"
+#include "datagen/opic_like.h"
+#include "datagen/synthetic.h"
+
+namespace gordian {
+namespace {
+
+Table WorkyTable() {
+  // Uncorrelated low-cardinality data: plenty of non-keys to find.
+  SyntheticSpec spec = UniformSpec(10, 2000, 32, 0.4, 321);
+  spec.columns[0].cardinality = 128;
+  spec.columns[1].cardinality = 64;
+  spec.planted_keys.push_back({0, 1});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+TEST(Budget, NonKeyLimitTripsAndMarksIncomplete) {
+  Table t = WorkyTable();
+  KeyDiscoveryResult unbounded = FindKeys(t);
+  ASSERT_GT(unbounded.non_keys.size(), 2u);
+
+  GordianOptions o;
+  o.max_non_keys = 1;
+  KeyDiscoveryResult r = FindKeys(t, o);
+  EXPECT_TRUE(r.incomplete);
+  EXPECT_TRUE(r.keys.empty());
+  EXPECT_FALSE(r.non_keys.empty());
+  // Everything reported is still a genuine non-key.
+  for (const AttributeSet& nk : r.non_keys) {
+    EXPECT_FALSE(t.IsUnique(nk));
+  }
+}
+
+TEST(Budget, TimeBudgetTripsOnLargeInput) {
+  Table t = GenerateOpicLike(20000, 30, 99);
+  GordianOptions o;
+  o.time_budget_seconds = 1e-9;
+  KeyDiscoveryResult r = FindKeys(t, o);
+  EXPECT_TRUE(r.incomplete);
+  EXPECT_TRUE(r.keys.empty());
+}
+
+TEST(Budget, GenerousBudgetsDoNotChangeResults) {
+  Table t = WorkyTable();
+  KeyDiscoveryResult base = FindKeys(t);
+  GordianOptions o;
+  o.max_non_keys = 1 << 20;
+  o.time_budget_seconds = 3600;
+  KeyDiscoveryResult r = FindKeys(t, o);
+  EXPECT_FALSE(r.incomplete);
+  EXPECT_EQ(r.KeySets(), base.KeySets());
+  EXPECT_EQ(r.non_keys, base.non_keys);
+}
+
+TEST(Budget, IncompleteNeverSetOnDefaults) {
+  Table t = WorkyTable();
+  EXPECT_FALSE(FindKeys(t).incomplete);
+}
+
+}  // namespace
+}  // namespace gordian

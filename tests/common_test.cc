@@ -1,0 +1,156 @@
+// Unit tests for the common substrate: PRNG, Zipf sampler, hashing,
+// memory tracking, status.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace gordian {
+namespace {
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Random d(8);
+  bool any_diff = false;
+  Random e(7);
+  for (int i = 0; i < 100; ++i) {
+    if (d.Next() != e.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, UniformCoversTheRange) {
+  Random rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, BernoulliMatchesProbabilityRoughly) {
+  Random rng(4);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform) {
+  ZipfGenerator z(10, 0.0);
+  Random rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(Zipf, PositiveThetaSkewsTowardLowRanks) {
+  ZipfGenerator z(100, 1.0);
+  Random rng(6);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  // Rank 0 should be roughly 1/H_100 ~ 19% of draws and dominate rank 50.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], n / 10);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  ZipfGenerator z(7, 0.5);
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 7u);
+}
+
+TEST(Hashing, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  std::unordered_set<uint64_t> outs;
+  for (uint64_t i = 0; i < 10000; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);  // no collisions among consecutive inputs
+}
+
+TEST(Hashing, HashBytesDiscriminates) {
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+  EXPECT_EQ(HashBytes("gordian"), HashBytes("gordian"));
+}
+
+TEST(Hashing, FingerprintOrderSensitive) {
+  Fingerprint128 a, b;
+  a.Update(1);
+  a.Update(2);
+  b.Update(2);
+  b.Update(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Hashing, FingerprintEqualForEqualStreams) {
+  Fingerprint128 a, b;
+  for (uint64_t v : {5u, 6u, 7u}) {
+    a.Update(v);
+    b.Update(v);
+  }
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MemoryTracker, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current_bytes(), 150);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Add(10);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace gordian

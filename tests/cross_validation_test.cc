@@ -1,0 +1,78 @@
+// Cross-validation on realistic (dataset-generator) tables, where the full
+// exhaustive oracle is unaffordable: GORDIAN's keys of arity <= k must
+// coincide with the arity-limited brute force's minimal keys. (A key of
+// size <= k is globally minimal iff it is minimal among keys of size <= k,
+// since all its proper subsets are smaller.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bruteforce/brute_force.h"
+#include "core/gordian.h"
+#include "datagen/baseball_like.h"
+#include "datagen/opic_like.h"
+#include "datagen/tpch_lite.h"
+
+namespace gordian {
+namespace {
+
+std::vector<AttributeSet> Sorted(std::vector<AttributeSet> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void CrossValidate(const Table& t, int max_arity, const std::string& label) {
+  KeyDiscoveryResult g = FindKeys(t);
+  BruteForceOptions o;
+  o.max_arity = max_arity;
+  BruteForceResult bf = BruteForceFindKeys(t, o);
+  ASSERT_FALSE(bf.truncated) << label;
+  ASSERT_EQ(g.no_keys, bf.no_keys) << label;
+  if (g.no_keys) return;
+
+  std::vector<AttributeSet> gordian_small;
+  for (const DiscoveredKey& k : g.keys) {
+    if (k.attrs.Count() <= max_arity) gordian_small.push_back(k.attrs);
+  }
+  EXPECT_EQ(Sorted(gordian_small), Sorted(bf.keys)) << label;
+}
+
+TEST(CrossValidation, TpchTablesUpToArityThree) {
+  for (auto& nt : GenerateTpchLite(0.003, 601)) {
+    if (nt.table.num_rows() > 20000) continue;  // keep the oracle affordable
+    CrossValidate(nt.table, 3, nt.name);
+  }
+}
+
+TEST(CrossValidation, BaseballTablesUpToArityThree) {
+  for (auto& nt : GenerateBaseballLike(0.05, 602)) {
+    if (nt.table.num_rows() > 20000) continue;
+    // Wide stat tables have huge arity-3 candidate spaces; cap to the
+    // narrow ones for the exact sweep.
+    if (nt.table.num_columns() > 10) continue;
+    CrossValidate(nt.table, 3, nt.name);
+  }
+}
+
+TEST(CrossValidation, BaseballWideTablesUpToArityTwo) {
+  for (auto& nt : GenerateBaseballLike(0.05, 603)) {
+    if (nt.table.num_columns() <= 10 || nt.table.num_rows() > 10000) continue;
+    CrossValidate(nt.table, 2, nt.name);
+  }
+}
+
+TEST(CrossValidation, OpicTablesUpToArityTwo) {
+  for (int attrs : {12, 24, 40}) {
+    Table t = GenerateOpicLike(3000, attrs, 604 + attrs);
+    CrossValidate(t, 2, "opic" + std::to_string(attrs));
+  }
+}
+
+TEST(CrossValidation, FactTableUpToArityTwo) {
+  Table t = GenerateTpchFact(8000, 605);
+  CrossValidate(t, 2, "fact");
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,142 @@
+// Unit tests for CSV reading/writing: quoting, type inference, error paths,
+// and lossless round-trips.
+
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace gordian {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "gordian_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream os(path);
+    os << content;
+  }
+};
+
+TEST_F(CsvTest, SplitBasic) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(SplitCsvRecord("a,b,,d", ',', &fields).ok());
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "", "d"}));
+}
+
+TEST_F(CsvTest, SplitQuotedWithEmbeddedDelimiterAndQuotes) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(SplitCsvRecord("\"a,b\",\"he said \"\"hi\"\"\"", ',', &fields).ok());
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "he said \"hi\""}));
+}
+
+TEST_F(CsvTest, SplitUnterminatedQuoteFails) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(SplitCsvRecord("\"oops", ',', &fields).ok());
+}
+
+TEST_F(CsvTest, ReadWithHeaderAndTypeInference) {
+  std::string p = Path("infer.csv");
+  WriteFile(p, "id,name,score\n1,alpha,1.5\n2,beta,\n3,07x,2\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &t).ok());
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.schema().name(0), "id");
+  EXPECT_EQ(t.value(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(t.value(0, 2), Value(1.5));
+  EXPECT_TRUE(t.value(1, 2).is_null());     // empty field
+  EXPECT_EQ(t.value(2, 1), Value("07x"));   // non-numeric stays string
+  EXPECT_EQ(t.value(2, 2), Value(int64_t{2}));
+}
+
+TEST_F(CsvTest, ReadWithoutHeaderNamesColumns) {
+  std::string p = Path("nohdr.csv");
+  WriteFile(p, "1,2\n3,4\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, opts, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.schema().name(0), "c0");
+  EXPECT_EQ(t.schema().name(1), "c1");
+}
+
+TEST_F(CsvTest, ReadWithoutInferenceKeepsStrings) {
+  std::string p = Path("str.csv");
+  WriteFile(p, "a\n1\n");
+  CsvOptions opts;
+  opts.infer_types = false;
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, opts, &t).ok());
+  EXPECT_EQ(t.value(0, 0), Value("1"));
+}
+
+TEST_F(CsvTest, ReadRejectsRaggedRows) {
+  std::string p = Path("ragged.csv");
+  WriteFile(p, "a,b\n1,2\n3\n");
+  Table t;
+  Status s = ReadCsv(p, CsvOptions{}, &t);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  Table t;
+  EXPECT_EQ(ReadCsv("/no/such/file.csv", CsvOptions{}, &t).code(),
+            Status::Code::kIOError);
+}
+
+TEST_F(CsvTest, ReadEmptyFileFails) {
+  std::string p = Path("empty.csv");
+  WriteFile(p, "");
+  Table t;
+  EXPECT_FALSE(ReadCsv(p, CsvOptions{}, &t).ok());
+}
+
+TEST_F(CsvTest, ToleratesCrlfAndBlankLines) {
+  std::string p = Path("crlf.csv");
+  WriteFile(p, "a,b\r\n1,2\r\n\r\n3,4\r\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.value(1, 1), Value(int64_t{4}));
+}
+
+TEST_F(CsvTest, RoundTripPreservesValues) {
+  TableBuilder b(Schema(std::vector<std::string>{"n", "s", "weird,name"}));
+  b.AddRow({Value(int64_t{-3}), Value("plain"), Value("a,b")});
+  b.AddRow({Value(int64_t{9}), Value("quote\"inside"), Value::Null()});
+  Table t = b.Build();
+
+  std::string p = Path("round.csv");
+  ASSERT_TRUE(WriteCsv(t, CsvOptions{}, p).ok());
+  Table back;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &back).ok());
+  ASSERT_EQ(back.num_rows(), 2);
+  EXPECT_EQ(back.schema().name(2), "weird,name");
+  EXPECT_EQ(back.value(0, 0), Value(int64_t{-3}));
+  EXPECT_EQ(back.value(0, 2), Value("a,b"));
+  EXPECT_EQ(back.value(1, 1), Value("quote\"inside"));
+  EXPECT_TRUE(back.value(1, 2).is_null());
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  std::string p = Path("tsv.csv");
+  WriteFile(p, "a\tb\n1\t2\n");
+  CsvOptions opts;
+  opts.delimiter = '\t';
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, opts, &t).ok());
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.value(0, 1), Value(int64_t{2}));
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,175 @@
+// Deeper shape validation of the dataset generators: the statistical
+// texture the experiments rely on (hierarchies, planted keys, foreign-key
+// structure, determinism, scaling behavior).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/gordian.h"
+#include "datagen/baseball_like.h"
+#include "datagen/datasets.h"
+#include "datagen/opic_like.h"
+#include "datagen/tpch_lite.h"
+
+namespace gordian {
+namespace {
+
+const Table& Find(const std::vector<NamedTable>& db, const std::string& name) {
+  for (const NamedTable& t : db) {
+    if (t.name == name) return t.table;
+  }
+  ADD_FAILURE() << "missing table " << name;
+  return db.front().table;
+}
+
+TEST(OpicShape, KeyFamilyStaysSmallAtEveryWidth) {
+  // The design bet of the generator (see opic_like.cc): the minimal-key
+  // family must stay small at any width, as in real catalog data.
+  for (int attrs : {5, 17, 34, 50, 66}) {
+    Table t = GenerateOpicLike(4000, attrs, 300 + attrs);
+    KeyDiscoveryResult r = FindKeys(t);
+    ASSERT_FALSE(r.no_keys) << attrs;
+    EXPECT_LE(r.keys.size(), 8u) << attrs;
+    EXPECT_LE(r.non_keys.size(), 8u) << attrs;
+    // (model_no, config_no) is always among the minimal keys.
+    bool planted = false;
+    for (const DiscoveredKey& k : r.keys) {
+      if (k.attrs == (AttributeSet{0, 4})) planted = true;
+    }
+    EXPECT_TRUE(planted) << attrs;
+  }
+}
+
+TEST(OpicShape, HierarchyIsNearlyFunctional) {
+  Table t = GenerateOpicLike(8000, 12, 301);
+  // brand (1) is a near-function of model_no (0): the pair's distinct count
+  // barely exceeds model_no's own.
+  int64_t d0 = t.DistinctCount(AttributeSet{0});
+  int64_t d01 = t.DistinctCount(AttributeSet{0, 1});
+  EXPECT_LE(d01, d0 + d0 / 10);
+  // product_line (2) is coarser than brand (1).
+  EXPECT_LE(t.ColumnCardinality(2), t.ColumnCardinality(1));
+}
+
+TEST(OpicShape, SerialNumberIsAKeyWhenPresent) {
+  Table t = GenerateOpicLike(3000, 10, 302);
+  EXPECT_EQ(t.schema().name(7), "serial_no");
+  EXPECT_TRUE(t.IsUnique(AttributeSet{7}));
+}
+
+TEST(TpchShape, RowCountsScaleWithScaleFactor) {
+  auto small = GenerateTpchLite(0.001, 303);
+  auto large = GenerateTpchLite(0.004, 303);
+  int64_t small_orders = Find(small, "orders").num_rows();
+  int64_t large_orders = Find(large, "orders").num_rows();
+  EXPECT_NEAR(static_cast<double>(large_orders) / small_orders, 4.0, 0.5);
+  // lineitem averages ~4 lines per order.
+  EXPECT_NEAR(static_cast<double>(Find(large, "lineitem").num_rows()) /
+                  large_orders,
+              4.0, 1.0);
+}
+
+TEST(TpchShape, OrderKeysAreSparse) {
+  auto db = GenerateTpchLite(0.002, 304);
+  const Table& orders = Find(db, "orders");
+  int okey = orders.schema().Find("o_orderkey");
+  int64_t max_key = 0;
+  for (int64_t r = 0; r < orders.num_rows(); ++r) {
+    max_key = std::max(max_key, orders.value(r, okey).int64());
+  }
+  // dbgen-style: keys live in a space ~4x the row count.
+  EXPECT_GT(max_key, orders.num_rows() * 3);
+}
+
+TEST(TpchShape, PartsuppHasExactlyFourSuppliersPerPart) {
+  auto db = GenerateTpchLite(0.002, 305);
+  const Table& ps = Find(db, "partsupp");
+  int pk = ps.schema().Find("ps_partkey");
+  std::map<int64_t, int> per_part;
+  for (int64_t r = 0; r < ps.num_rows(); ++r) {
+    ++per_part[ps.value(r, pk).int64()];
+  }
+  for (const auto& [part, count] : per_part) {
+    ASSERT_EQ(count, 4) << "part " << part;
+  }
+}
+
+TEST(TpchShape, NationAndRegionAreFixed) {
+  auto db = GenerateTpchLite(0.001, 306);
+  EXPECT_EQ(Find(db, "nation").num_rows(), 25);
+  EXPECT_EQ(Find(db, "region").num_rows(), 5);
+  const Table& nation = Find(db, "nation");
+  int rk = nation.schema().Find("n_regionkey");
+  for (int64_t r = 0; r < nation.num_rows(); ++r) {
+    int64_t v = nation.value(r, rk).int64();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(BaseballShape, CompositeKeysHoldInStatTables) {
+  auto db = GenerateBaseballLike(0.1, 307);
+  const Table& games = Find(db, "games");
+  EXPECT_TRUE(games.IsUnique(
+      {AttributeSet{games.schema().Find("season"),
+                    games.schema().Find("game_no")}}));
+  const Table& all_star = Find(db, "all_star");
+  EXPECT_TRUE(all_star.IsUnique(
+      {AttributeSet{all_star.schema().Find("season"),
+                    all_star.schema().Find("league_slot")}}));
+  const Table& playoffs = Find(db, "playoffs");
+  EXPECT_TRUE(playoffs.IsUnique({AttributeSet{
+      playoffs.schema().Find("season"), playoffs.schema().Find("round"),
+      playoffs.schema().Find("game_in_round")}}));
+}
+
+TEST(BaseballShape, TotalTuplesScaleRoughlyLinearly) {
+  Dataset d1 = MakeBaseballDataset(0.05, 308);
+  Dataset d2 = MakeBaseballDataset(0.2, 308);
+  EXPECT_GT(d2.TotalTuples(), d1.TotalTuples() * 2);
+}
+
+TEST(Generators, FullyDeterministicAcrossCalls) {
+  auto a = GenerateTpchLite(0.001, 309);
+  auto b = GenerateTpchLite(0.001, 309);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].table.num_rows(), b[i].table.num_rows());
+    for (int64_t r = 0; r < std::min<int64_t>(50, a[i].table.num_rows());
+         ++r) {
+      for (int c = 0; c < a[i].table.num_columns(); ++c) {
+        ASSERT_EQ(a[i].table.value(r, c), b[i].table.value(r, c));
+      }
+    }
+  }
+  Table o1 = GenerateOpicLike(500, 20, 310);
+  Table o2 = GenerateOpicLike(500, 20, 310);
+  for (int64_t r = 0; r < o1.num_rows(); r += 17) {
+    for (int c = 0; c < o1.num_columns(); ++c) {
+      ASSERT_EQ(o1.code(r, c), o2.code(r, c));
+    }
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  Table a = GenerateOpicLike(500, 10, 311);
+  Table b = GenerateOpicLike(500, 10, 312);
+  int diffs = 0;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    if (a.value(r, 0) != b.value(r, 0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(FactTable, DenormalizedCorrelationsExist) {
+  Table fact = GenerateTpchFact(20000, 313);
+  // f_nationkey is functionally determined by f_custkey (denormalized join).
+  int cust = fact.schema().Find("f_custkey");
+  int nation = fact.schema().Find("f_nationkey");
+  EXPECT_EQ(fact.DistinctCount(AttributeSet{cust}),
+            fact.DistinctCount({AttributeSet{cust, nation}}));
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,252 @@
+// Tests for the dataset generators: planted keys, correlations, the index
+// permutation, and the three paper-dataset stand-ins.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/gordian.h"
+#include "datagen/baseball_like.h"
+#include "datagen/datasets.h"
+#include "datagen/opic_like.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpch_lite.h"
+#include "datagen/words.h"
+
+namespace gordian {
+namespace {
+
+TEST(IndexPermutation, IsABijectionOnSmallDomains) {
+  for (uint64_t n : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    IndexPermutation p(n, 42);
+    std::set<uint64_t> image;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t v = p.Map(i);
+      EXPECT_LT(v, n);
+      image.insert(v);
+    }
+    EXPECT_EQ(image.size(), n);
+  }
+}
+
+TEST(IndexPermutation, DifferentSeedsGiveDifferentPermutations) {
+  IndexPermutation a(1000, 1), b(1000, 2);
+  int diff = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.Map(i) != b.Map(i)) ++diff;
+  }
+  EXPECT_GT(diff, 900);
+}
+
+TEST(Synthetic, PlantedKeyIsExactlyUnique) {
+  SyntheticSpec spec = UniformSpec(5, 2000, 8, 0.5, 7);
+  spec.columns[1].cardinality = 64;
+  spec.columns[3].cardinality = 64;
+  spec.planted_keys.push_back({1, 3});
+  Table t;
+  ASSERT_TRUE(GenerateSynthetic(spec, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2000);
+  EXPECT_TRUE(t.IsUnique(AttributeSet{1, 3}));
+}
+
+TEST(Synthetic, CardinalityIsRespected) {
+  SyntheticSpec spec = UniformSpec(3, 5000, 10, 0.0, 8);
+  spec.ensure_unique_rows = false;
+  Table t;
+  ASSERT_TRUE(GenerateSynthetic(spec, &t).ok());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_LE(t.ColumnCardinality(c), 10);
+    EXPECT_GE(t.ColumnCardinality(c), 8);  // 5000 draws cover 10 values
+  }
+}
+
+TEST(Synthetic, ExactFunctionalDependencyHolds) {
+  SyntheticSpec spec = UniformSpec(3, 2000, 50, 0.3, 9);
+  spec.columns[1].correlated_with = 0;
+  spec.columns[1].correlation_noise = 0.0;
+  spec.ensure_unique_rows = false;
+  Table t;
+  ASSERT_TRUE(GenerateSynthetic(spec, &t).ok());
+  // col0 -> col1: equal col0 codes imply equal col1 codes.
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0}), t.DistinctCount(AttributeSet{0, 1}));
+}
+
+TEST(Synthetic, NoisyDependencyIsImperfect) {
+  SyntheticSpec spec = UniformSpec(3, 4000, 50, 0.3, 10);
+  spec.columns[1].correlated_with = 0;
+  spec.columns[1].correlation_noise = 0.3;
+  spec.ensure_unique_rows = false;
+  Table t;
+  ASSERT_TRUE(GenerateSynthetic(spec, &t).ok());
+  EXPECT_GT(t.DistinctCount(AttributeSet{0, 1}), t.DistinctCount(AttributeSet{0}));
+}
+
+TEST(Synthetic, UniqueRowsRequested) {
+  SyntheticSpec spec = UniformSpec(4, 3000, 16, 0.8, 11);
+  spec.ensure_unique_rows = true;
+  Table t;
+  ASSERT_TRUE(GenerateSynthetic(spec, &t).ok());
+  EXPECT_EQ(t.DistinctCount(AttributeSet::FirstN(4)), 3000);
+}
+
+TEST(Synthetic, RejectsInfeasiblePlantedKey) {
+  SyntheticSpec spec = UniformSpec(3, 1000, 4, 0.0, 12);
+  spec.planted_keys.push_back({0, 1});  // 16 < 1000
+  Table t;
+  EXPECT_FALSE(GenerateSynthetic(spec, &t).ok());
+}
+
+TEST(Synthetic, RejectsOverlappingPlantedKeysAndBadColumns) {
+  SyntheticSpec spec = UniformSpec(4, 10, 100, 0.0, 13);
+  spec.planted_keys.push_back({0, 1});
+  spec.planted_keys.push_back({1, 2});
+  Table t;
+  EXPECT_FALSE(GenerateSynthetic(spec, &t).ok());
+
+  SyntheticSpec spec2 = UniformSpec(4, 10, 100, 0.0, 13);
+  spec2.planted_keys.push_back({7});
+  EXPECT_FALSE(GenerateSynthetic(spec2, &t).ok());
+}
+
+TEST(Synthetic, RejectsCorrelationWithLaterColumn) {
+  SyntheticSpec spec = UniformSpec(3, 10, 100, 0.0, 14);
+  spec.columns[0].correlated_with = 2;
+  Table t;
+  EXPECT_FALSE(GenerateSynthetic(spec, &t).ok());
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticSpec spec = UniformSpec(4, 200, 20, 0.5, 15);
+  Table a, b;
+  ASSERT_TRUE(GenerateSynthetic(spec, &a).ok());
+  ASSERT_TRUE(GenerateSynthetic(spec, &b).ok());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.code(r, c), b.code(r, c));
+    }
+  }
+}
+
+TEST(OpicLike, HasPlantedPrefixKeyAndRequestedShape) {
+  Table t = GenerateOpicLike(3000, 24, 77);
+  EXPECT_EQ(t.num_rows(), 3000);
+  EXPECT_EQ(t.num_columns(), 24);
+  // (model_no, config_no) at positions 0 and 4 is unique.
+  EXPECT_TRUE(t.IsUnique(AttributeSet{0, 4}));
+  // The hierarchy columns are heavily correlated: brand (1) has far fewer
+  // (brand, model) combinations than independence would predict.
+  EXPECT_LT(t.DistinctCount(AttributeSet{0, 1}),
+            t.ColumnCardinality(0) * t.ColumnCardinality(1));
+}
+
+TEST(OpicLike, PrefixProjectionsStillHaveKeys) {
+  Table t = GenerateOpicLike(2000, 40, 78);
+  for (int k : {5, 10, 20, 40}) {
+    Table p = t.ProjectColumns(k);
+    KeyDiscoveryResult r = FindKeys(p);
+    EXPECT_FALSE(r.no_keys) << "prefix " << k;
+    EXPECT_FALSE(r.keys.empty()) << "prefix " << k;
+  }
+}
+
+TEST(TpchLite, SchemaShapeMatchesTable1) {
+  auto db = GenerateTpchLite(0.002, 5);
+  ASSERT_EQ(db.size(), 8u);
+  int max_attrs = 0;
+  double avg = 0;
+  for (const NamedTable& t : db) {
+    max_attrs = std::max(max_attrs, t.table.num_columns());
+    avg += t.table.num_columns();
+  }
+  avg /= db.size();
+  EXPECT_EQ(max_attrs, 16);  // lineitem
+  EXPECT_NEAR(avg, 9.0, 2.0);
+}
+
+TEST(TpchLite, StandardKeysHold) {
+  auto db = GenerateTpchLite(0.002, 6);
+  auto find = [&](const std::string& name) -> const Table& {
+    for (const NamedTable& t : db) {
+      if (t.name == name) return t.table;
+    }
+    ADD_FAILURE() << "missing table " << name;
+    return db[0].table;
+  };
+  const Table& partsupp = find("partsupp");
+  int pk = partsupp.schema().Find("ps_partkey");
+  int sk = partsupp.schema().Find("ps_suppkey");
+  EXPECT_TRUE(partsupp.IsUnique({AttributeSet{pk, sk}}));
+  EXPECT_FALSE(partsupp.IsUnique(AttributeSet{pk}));
+
+  const Table& lineitem = find("lineitem");
+  int ok = lineitem.schema().Find("l_orderkey");
+  int ln = lineitem.schema().Find("l_linenumber");
+  EXPECT_TRUE(lineitem.IsUnique({AttributeSet{ok, ln}}));
+  EXPECT_FALSE(lineitem.IsUnique(AttributeSet{ok}));
+
+  const Table& orders = find("orders");
+  EXPECT_TRUE(orders.IsUnique(AttributeSet{orders.schema().Find("o_orderkey")}));
+}
+
+TEST(TpchLite, FactTableShapeAndKeys) {
+  Table fact = GenerateTpchFact(20000, 7);
+  EXPECT_EQ(fact.num_columns(), 17);
+  EXPECT_EQ(fact.num_rows(), 20000);
+  int ok = fact.schema().Find("f_orderkey");
+  int ln = fact.schema().Find("f_linenumber");
+  int id = fact.schema().Find("f_rowid");
+  EXPECT_TRUE(fact.IsUnique({AttributeSet{ok, ln}}));
+  EXPECT_TRUE(fact.IsUnique(AttributeSet{id}));
+  EXPECT_FALSE(fact.IsUnique(AttributeSet{ok}));
+}
+
+TEST(BaseballLike, TwelveTablesWithCompositeKeyTexture) {
+  auto db = GenerateBaseballLike(0.05, 8);
+  EXPECT_EQ(db.size(), 12u);
+  double avg = 0;
+  for (const NamedTable& t : db) {
+    EXPECT_GT(t.table.num_rows(), 0) << t.name;
+    avg += t.table.num_columns();
+  }
+  avg /= db.size();
+  EXPECT_NEAR(avg, 11.0, 6.0);
+
+  // awards: (award, season) is a key by construction.
+  for (const NamedTable& t : db) {
+    if (t.name == "awards") {
+      EXPECT_TRUE(t.table.IsUnique((AttributeSet{0, 1})));
+    }
+    if (t.name == "players") {
+      EXPECT_TRUE(t.table.IsUnique(AttributeSet{0}));
+    }
+  }
+}
+
+TEST(Datasets, AllThreeBuildWithStats) {
+  auto all = MakeAllDatasets(0.02, 9);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "TPC-H");
+  EXPECT_EQ(all[1].name, "OPICM");
+  EXPECT_EQ(all[2].name, "BASEBALL");
+  for (const Dataset& d : all) {
+    EXPECT_GT(d.num_tables(), 0);
+    EXPECT_GT(d.TotalTuples(), 0);
+    EXPECT_GT(d.AverageAttributes(), 0);
+    EXPECT_GE(d.MaxAttributes(), d.AverageAttributes());
+  }
+  EXPECT_EQ(all[1].MaxAttributes(), 66);
+}
+
+TEST(Words, DeterministicAndShaped) {
+  EXPECT_EQ(SurnameFor(5), SurnameFor(5));
+  EXPECT_NE(SurnameFor(5), SurnameFor(6));
+  EXPECT_FALSE(GivenNameFor(3).empty());
+  EXPECT_NE(CityFor(1).find(" City"), std::string::npos);
+  EXPECT_EQ(DateFor(0), 19920101);
+  EXPECT_EQ(DateFor(360), 19930101);
+  EXPECT_EQ(DateFor(30), 19920201);
+}
+
+}  // namespace
+}  // namespace gordian

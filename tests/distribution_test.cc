@@ -1,0 +1,101 @@
+// Statistical validation of the random substrate: the Zipf sampler's
+// frequencies against the analytic distribution (chi-square-style bound),
+// uniformity of Random across buckets and of SampleRows over positions —
+// the properties the Theorem 1 experiment and the sampling experiments
+// depend on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "table/table.h"
+
+namespace gordian {
+namespace {
+
+TEST(Distribution, ZipfFrequenciesTrackTheAnalyticLaw) {
+  const uint64_t n = 50;
+  for (double theta : {0.5, 1.0}) {
+    ZipfGenerator z(n, theta);
+    Random rng(61);
+    const int samples = 200000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < samples; ++i) ++counts[z.Sample(rng)];
+
+    double norm = 0;
+    for (uint64_t r = 1; r <= n; ++r) norm += std::pow(r, -theta);
+    // Chi-square-ish: each cell within 5 sigma of its expectation.
+    for (uint64_t r = 0; r < n; ++r) {
+      double p = std::pow(r + 1, -theta) / norm;
+      double expect = p * samples;
+      double sigma = std::sqrt(expect * (1 - p));
+      EXPECT_NEAR(counts[r], expect, 5 * sigma + 5)
+          << "rank " << r << " theta " << theta;
+    }
+  }
+}
+
+TEST(Distribution, ZipfRankOneDominatesByTheRightFactor) {
+  // frequency(rank 1) / frequency(rank 2) should approach 2^theta.
+  ZipfGenerator z(1000, 1.0);
+  Random rng(62);
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 300000; ++i) {
+    uint64_t s = z.Sample(rng);
+    if (s == 0) ++c1;
+    if (s == 1) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / c2, 2.0, 0.15);
+}
+
+TEST(Distribution, UniformBucketsAreBalanced) {
+  Random rng(63);
+  const int buckets = 32;
+  const int samples = 320000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < samples; ++i) ++counts[rng.Uniform(buckets)];
+  double expect = static_cast<double>(samples) / buckets;
+  double sigma = std::sqrt(expect);
+  for (int b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], expect, 6 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(Distribution, SampleRowsIsPositionUnbiased) {
+  // Sampling k of n rows many times: each position should be chosen with
+  // probability k/n.
+  TableBuilder b(Schema(std::vector<std::string>{"pos"}));
+  const int n = 200;
+  for (int64_t i = 0; i < n; ++i) b.AddRow({Value(i)});
+  Table t = b.Build();
+
+  const int k = 40, trials = 3000;
+  std::vector<int> hits(n, 0);
+  for (int trial = 0; trial < trials; ++trial) {
+    Table s = t.SampleRows(k, 1000 + trial);
+    for (int64_t r = 0; r < s.num_rows(); ++r) {
+      ++hits[s.value(r, 0).int64()];
+    }
+  }
+  double p = static_cast<double>(k) / n;
+  double expect = p * trials;
+  double sigma = std::sqrt(trials * p * (1 - p));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i], expect, 6 * sigma) << "position " << i;
+  }
+}
+
+TEST(Distribution, SampleRowsDrawsWithoutReplacement) {
+  TableBuilder b(Schema(std::vector<std::string>{"pos"}));
+  for (int64_t i = 0; i < 100; ++i) b.AddRow({Value(i)});
+  Table t = b.Build();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Table s = t.SampleRows(60, seed);
+    EXPECT_EQ(s.DistinctCount(AttributeSet{0}), 60) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,63 @@
+// Tests for the minimal command-line flag parser used by the examples.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace gordian {
+namespace {
+
+Flags Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = Parse({"--name=value", "--n=42", "--d=2.5"});
+  EXPECT_TRUE(f.Has("name"));
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("d"), 2.5);
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  Flags f = Parse({"--out", "file.json", "rest.csv"});
+  EXPECT_EQ(f.GetString("out"), "file.json");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "rest.csv");
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlag) {
+  Flags f = Parse({"--verbose", "--out=x"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_EQ(f.GetString("out"), "x");
+}
+
+TEST(Flags, BoolParsing) {
+  Flags f = Parse({"--a=true", "--b=false", "--c=0", "--d=1"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b"));
+  EXPECT_FALSE(f.GetBool("c"));
+  EXPECT_TRUE(f.GetBool("d"));
+  EXPECT_TRUE(f.GetBool("missing", true));
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(Flags, DefaultsForMissingFlags) {
+  Flags f = Parse({"pos1", "pos2"});
+  EXPECT_FALSE(f.Has("x"));
+  EXPECT_EQ(f.GetString("x", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("x", 7), 7);
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, PositionalAndFlagsInterleaved) {
+  Flags f = Parse({"a.csv", "--sample=10", "b.csv"});
+  EXPECT_EQ(f.GetInt("sample"), 10);
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"a.csv", "b.csv"}));
+}
+
+}  // namespace
+}  // namespace gordian

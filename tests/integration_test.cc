@@ -1,0 +1,156 @@
+// Cross-module integration tests: the full pipeline (generate -> profile ->
+// validate -> advise) on the paper's dataset stand-ins, at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/foreign_key.h"
+#include "core/gordian.h"
+#include "datagen/datasets.h"
+#include "engine/advisor.h"
+#include "engine/executor.h"
+#include "engine/workload.h"
+#include "table/csv.h"
+
+namespace gordian {
+namespace {
+
+// Every key GORDIAN reports on every table of every dataset must verify
+// unique + minimal, and every non-key must verify duplicated.
+TEST(Integration, AllDatasetsProfileCleanly) {
+  for (const Dataset& d : MakeAllDatasets(/*scale=*/0.02, /*seed=*/501)) {
+    for (const NamedTable& nt : d.tables) {
+      const Table& t = nt.table;
+      KeyDiscoveryResult r = FindKeys(t);
+      if (r.no_keys) {
+        EXPECT_FALSE(t.IsUnique(AttributeSet::FirstN(t.num_columns())))
+            << d.name << "/" << nt.name;
+        continue;
+      }
+      EXPECT_FALSE(r.keys.empty()) << d.name << "/" << nt.name;
+      for (const DiscoveredKey& k : r.keys) {
+        EXPECT_TRUE(t.IsUnique(k.attrs)) << d.name << "/" << nt.name;
+        k.attrs.ForEach([&](int a) {
+          AttributeSet smaller = k.attrs;
+          smaller.Reset(a);
+          if (!smaller.Empty()) {
+            EXPECT_FALSE(t.IsUnique(smaller)) << d.name << "/" << nt.name;
+          }
+        });
+      }
+      for (const AttributeSet& nk : r.non_keys) {
+        EXPECT_FALSE(t.IsUnique(nk)) << d.name << "/" << nt.name;
+      }
+    }
+  }
+}
+
+// CSV round-trip preserves the discovered keys (the profiler must behave
+// identically on exported/reimported data).
+TEST(Integration, CsvRoundTripPreservesKeys) {
+  Dataset d = MakeBaseballDataset(/*scale=*/0.02, /*seed=*/502);
+  const Table& players = d.tables[0].table;
+  std::string path = ::testing::TempDir() + "players_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(players, CsvOptions{}, path).ok());
+  Table back;
+  ASSERT_TRUE(ReadCsv(path, CsvOptions{}, &back).ok());
+  ASSERT_EQ(back.num_rows(), players.num_rows());
+
+  auto sorted = [](std::vector<AttributeSet> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(FindKeys(players).KeySets()),
+            sorted(FindKeys(back).KeySets()));
+}
+
+// Sampling pipeline on a real-shaped dataset: no true key lost, validated
+// strengths sane.
+TEST(Integration, SamplingPipelineOnTpch) {
+  Dataset d = MakeTpchDataset(/*scale=*/0.1, /*seed=*/503);
+  for (const NamedTable& nt : d.tables) {
+    const Table& t = nt.table;
+    if (t.num_rows() < 1000) continue;
+    KeyDiscoveryResult full = FindKeys(t);
+    GordianOptions o;
+    o.sample_rows = t.num_rows() / 10;
+    KeyDiscoveryResult s = FindKeys(t, o);
+    ValidateKeys(t, &s);
+    for (const DiscoveredKey& fk : full.keys) {
+      bool covered = false;
+      for (const DiscoveredKey& sk : s.keys) {
+        if (fk.attrs.Covers(sk.attrs)) covered = true;
+      }
+      EXPECT_TRUE(covered) << nt.name << " lost " << fk.attrs.ToString();
+    }
+    for (const DiscoveredKey& sk : s.keys) {
+      EXPECT_GE(sk.exact_strength, 0.0);
+      EXPECT_LE(sk.exact_strength, 1.0);
+    }
+  }
+}
+
+// End-to-end Section 4.4: keys -> indexes -> plans agree with scans.
+TEST(Integration, AdvisorPipelineOnFactSlice) {
+  Dataset d = MakeTpchDataset(/*scale=*/0.05, /*seed=*/504);
+  // Find lineitem and profile it.
+  const Table* lineitem = nullptr;
+  for (const NamedTable& nt : d.tables) {
+    if (nt.name == "lineitem") lineitem = &nt.table;
+  }
+  ASSERT_NE(lineitem, nullptr);
+  KeyDiscoveryResult keys = FindKeys(*lineitem);
+  ASSERT_FALSE(keys.keys.empty());
+  RowStore store(*lineitem);
+  Planner planner = BuildRecommendedIndexes(*lineitem, store, keys);
+  ASSERT_FALSE(planner.indexes().empty());
+
+  // A point query on the composite key must pick an index and agree with
+  // the scan.
+  int ok = lineitem->schema().Find("l_orderkey");
+  int ln = lineitem->schema().Find("l_linenumber");
+  Query q;
+  q.label = "point";
+  q.predicates = {{ok, lineitem->code(42, ok)}, {ln, lineitem->code(42, ln)}};
+  q.projection = {lineitem->schema().Find("l_quantity")};
+  PlanChoice plan = planner.Choose(*lineitem, q);
+  EXPECT_NE(plan.index, nullptr);
+  EXPECT_EQ(ExecuteScan(*lineitem, store, q),
+            Execute(*lineitem, store, plan, q));
+}
+
+// Foreign keys across the TPC-H stand-in: partsupp -> part and -> supplier.
+TEST(Integration, ForeignKeysAcrossTpch) {
+  auto db = GenerateTpchLite(0.005, 505);
+  std::vector<ProfiledTable> tables;
+  std::vector<KeyDiscoveryResult> rs(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    rs[i] = FindKeys(db[i].table);
+    tables.push_back({db[i].name, &db[i].table, rs[i].KeySets()});
+  }
+  ForeignKeyOptions opts;
+  opts.min_distinct_values = 20;
+  auto fks = DiscoverForeignKeys(tables, opts);
+  auto has = [&](const std::string& from, const std::string& fk_col,
+                 const std::string& to, const std::string& key_col) {
+    for (const ForeignKeyCandidate& c : fks) {
+      const Table& ft = *tables[c.referencing_table].table;
+      const Table& kt = *tables[c.referenced_table].table;
+      if (tables[c.referencing_table].name == from &&
+          tables[c.referenced_table].name == to &&
+          c.foreign_key_columns.size() == 1 &&
+          ft.schema().name(c.foreign_key_columns[0]) == fk_col &&
+          c.referenced_key == AttributeSet::Single(kt.schema().Find(key_col))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("partsupp", "ps_partkey", "part", "p_partkey"));
+  EXPECT_TRUE(has("partsupp", "ps_suppkey", "supplier", "s_suppkey"));
+  EXPECT_TRUE(has("customer", "c_nationkey", "nation", "n_nationkey"));
+}
+
+}  // namespace
+}  // namespace gordian

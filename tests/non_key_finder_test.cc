@@ -1,0 +1,164 @@
+// Targeted unit tests for NonKeyFinder (Algorithm 4) beyond the end-to-end
+// sweeps: the Section 3.5 worked trace, pruning-counter behavior on crafted
+// trees, and the interaction between traversal and the NonKeySet.
+
+#include "core/non_key_finder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gordian.h"
+#include "core/prefix_tree.h"
+#include "table/table.h"
+
+namespace gordian {
+namespace {
+
+Table PaperDataset() {
+  TableBuilder b(Schema(std::vector<std::string>{
+      "First Name", "Last Name", "Phone", "Emp No"}));
+  b.AddRow({Value("Michael"), Value("Thompson"), Value(int64_t{3478}),
+            Value(int64_t{10})});
+  b.AddRow({Value("Michael"), Value("Thompson"), Value(int64_t{6791}),
+            Value(int64_t{50})});
+  b.AddRow({Value("Michael"), Value("Spencer"), Value(int64_t{5237}),
+            Value(int64_t{20})});
+  b.AddRow({Value("Sally"), Value("Kwan"), Value(int64_t{3478}),
+            Value(int64_t{90})});
+  return b.Build();
+}
+
+std::vector<int> SchemaOrder(int d) {
+  std::vector<int> order(d);
+  for (int i = 0; i < d; ++i) order[i] = i;
+  return order;
+}
+
+struct RunOutcome {
+  std::vector<AttributeSet> non_keys;
+  GordianStats stats;
+};
+
+RunOutcome RunFinder(const Table& t, const GordianOptions& o) {
+  RunOutcome out;
+  PrefixTree tree = PrefixTree::Build(t, SchemaOrder(t.num_columns()),
+                                      o.tree_build);
+  NonKeySet set(&out.stats);
+  NonKeyFinder finder(tree, o, &set, &out.stats);
+  EXPECT_TRUE(finder.Run());
+  out.non_keys = set.non_keys();
+  return out;
+}
+
+TEST(NonKeyFinder, PaperTraceFindsTheTwoNonKeysWithOneFutilityPrune) {
+  // Section 3.5 narrates exactly one futility prune on this dataset (at
+  // node M3, the <First Name> segment) and singleton prunes at node (6) and
+  // at nodes (4),(5),(7) during the merged traversal.
+  GordianOptions o;
+  RunOutcome out = RunFinder(PaperDataset(), o);
+  std::sort(out.non_keys.begin(), out.non_keys.end());
+  EXPECT_EQ(out.non_keys,
+            (std::vector<AttributeSet>{AttributeSet{0, 1}, AttributeSet{2}}));
+  // The paper's trace prunes the redundant <First Name> check at the leaf
+  // of node M3; in this implementation that lands either in the merge-gate
+  // futility counter or in the NonKeySet's covered-rejection fast path,
+  // depending on where the redundancy is caught.
+  EXPECT_GE(out.stats.futility_prunes + out.stats.non_keys_rejected_covered,
+            1);
+  EXPECT_GT(out.stats.singleton_traversal_prunes, 0);
+}
+
+TEST(NonKeyFinder, NoPruningStillFindsTheSameNonKeys) {
+  GordianOptions o;
+  o.singleton_pruning = false;
+  o.futility_pruning = false;
+  o.single_entity_pruning = false;
+  RunOutcome out = RunFinder(PaperDataset(), o);
+  std::sort(out.non_keys.begin(), out.non_keys.end());
+  EXPECT_EQ(out.non_keys,
+            (std::vector<AttributeSet>{AttributeSet{0, 1}, AttributeSet{2}}));
+  // Without pruning, more nodes get visited.
+  RunOutcome pruned = RunFinder(PaperDataset(), GordianOptions{});
+  EXPECT_GT(out.stats.nodes_visited, pruned.stats.nodes_visited);
+}
+
+TEST(NonKeyFinder, UniqueColumnYieldsNoNonKeysThere) {
+  // Table where column 0 is unique: no non-key may contain... actually a
+  // non-key may not exist at all if every column is unique; craft column 0
+  // unique, column 1 constant.
+  TableBuilder b(Schema(std::vector<std::string>{"id", "const"}));
+  for (int i = 0; i < 10; ++i) b.AddRow({Value(int64_t{i}), Value("x")});
+  RunOutcome out = RunFinder(b.Build(), GordianOptions{});
+  ASSERT_EQ(out.non_keys.size(), 1u);
+  EXPECT_EQ(out.non_keys[0], AttributeSet{1});
+}
+
+TEST(NonKeyFinder, AllRowsIdenticalInOneColumnPair) {
+  // Two columns, both constant: the maximal non-key is {0,1} (all rows
+  // collide), found at the leaf of the base tree... but identical full rows
+  // mean "no keys" and the tree flags it; NonKeyFinder is not even run by
+  // the facade. Here rows differ in a third column.
+  TableBuilder b(Schema(std::vector<std::string>{"c1", "c2", "id"}));
+  for (int i = 0; i < 8; ++i) {
+    b.AddRow({Value("a"), Value("b"), Value(int64_t{i})});
+  }
+  RunOutcome out = RunFinder(b.Build(), GordianOptions{});
+  ASSERT_EQ(out.non_keys.size(), 1u);
+  EXPECT_EQ(out.non_keys[0], (AttributeSet{0, 1}));
+}
+
+TEST(NonKeyFinder, SingleEntityPruneCountsSlicesOfOneEntity) {
+  // Distinct ids at the root level: every level-1 slice holds one entity.
+  TableBuilder b(Schema(std::vector<std::string>{"id", "x", "y"}));
+  for (int i = 0; i < 16; ++i) {
+    b.AddRow({Value(int64_t{i}), Value(int64_t{i % 2}), Value(int64_t{i % 3})});
+  }
+  GordianOptions o;
+  RunOutcome out = RunFinder(b.Build(), o);
+  EXPECT_EQ(out.stats.single_entity_prunes, 16);
+}
+
+TEST(NonKeyFinder, EmptyTreeIsANoOp) {
+  TableBuilder b(Schema(std::vector<std::string>{"a"}));
+  Table t = b.Build();
+  GordianOptions o;
+  GordianStats stats;
+  PrefixTree tree = PrefixTree::Build(t, {0}, o.tree_build);
+  NonKeySet set(&stats);
+  NonKeyFinder finder(tree, o, &set, &stats);
+  EXPECT_TRUE(finder.Run());
+  EXPECT_EQ(set.size(), 0);
+  EXPECT_EQ(stats.nodes_visited, 0);
+}
+
+TEST(NonKeyFinder, MergeIntermediatesAreReleased) {
+  Table t = PaperDataset();
+  GordianOptions o;
+  GordianStats stats;
+  PrefixTree tree = PrefixTree::Build(t, SchemaOrder(4), o.tree_build);
+  int64_t base_nodes = tree.pool().live_nodes();
+  NonKeySet set(&stats);
+  NonKeyFinder finder(tree, o, &set, &stats);
+  EXPECT_TRUE(finder.Run());
+  // Every merge intermediate must have been unreffed back to the base tree.
+  EXPECT_EQ(tree.pool().live_nodes(), base_nodes);
+  EXPECT_GE(tree.pool().peak_bytes(), tree.pool().current_bytes());
+}
+
+TEST(NonKeyFinder, FutilityPruningNeedsDiscoveredNonKeys) {
+  // On a table whose only non-key is found last (lexicographically), the
+  // futility counter stays low; the counter is data-dependent, so just
+  // assert consistency: prunes require at least one prior non-key.
+  TableBuilder b(Schema(std::vector<std::string>{"a", "b"}));
+  for (int i = 0; i < 6; ++i) {
+    b.AddRow({Value(int64_t{i}), Value(int64_t{i / 2})});
+  }
+  RunOutcome out = RunFinder(b.Build(), GordianOptions{});
+  if (out.stats.futility_prunes > 0) {
+    EXPECT_GT(out.stats.non_key_insert_attempts, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,82 @@
+// Unit tests for the NonKeySet container (Algorithm 5).
+
+#include "core/non_key_set.h"
+
+#include <gtest/gtest.h>
+
+namespace gordian {
+namespace {
+
+TEST(NonKeySet, InsertsAndRejectsCovered) {
+  NonKeySet s;
+  EXPECT_TRUE(s.Insert(AttributeSet{0, 1}));
+  // Subsets of an existing non-key are redundant.
+  EXPECT_FALSE(s.Insert(AttributeSet{0}));
+  EXPECT_FALSE(s.Insert(AttributeSet{1}));
+  EXPECT_FALSE(s.Insert(AttributeSet{0, 1}));  // duplicates too
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(NonKeySet, SupersetEvictsCoveredMembers) {
+  NonKeySet s;
+  EXPECT_TRUE(s.Insert(AttributeSet{0}));
+  EXPECT_TRUE(s.Insert(AttributeSet{2}));
+  EXPECT_TRUE(s.Insert(AttributeSet{0, 1}));  // evicts {0}
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.CoversSet(AttributeSet{0}));
+  EXPECT_TRUE(s.CoversSet(AttributeSet{2}));
+  EXPECT_TRUE(s.Insert(AttributeSet{0, 1, 2}));  // evicts both
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(NonKeySet, MaintainsAntichainInvariant) {
+  NonKeySet s;
+  s.Insert(AttributeSet{0, 1});
+  s.Insert(AttributeSet{1, 2});
+  s.Insert(AttributeSet{2, 3});
+  s.Insert(AttributeSet{0, 1, 2});  // evicts {0,1} and {1,2}
+  const auto& nks = s.non_keys();
+  for (size_t i = 0; i < nks.size(); ++i) {
+    for (size_t j = 0; j < nks.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(nks[i].Covers(nks[j]));
+      }
+    }
+  }
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(NonKeySet, CoversSetSemantics) {
+  NonKeySet s;
+  s.Insert(AttributeSet{0, 1, 2});
+  EXPECT_TRUE(s.CoversSet(AttributeSet{0, 2}));
+  EXPECT_TRUE(s.CoversSet(AttributeSet{}));  // empty covered by anything
+  EXPECT_FALSE(s.CoversSet(AttributeSet{3}));
+  EXPECT_FALSE(s.CoversSet(AttributeSet{0, 3}));
+  NonKeySet empty;
+  EXPECT_FALSE(empty.CoversSet(AttributeSet{}));
+}
+
+TEST(NonKeySet, StatsCounters) {
+  GordianStats stats;
+  NonKeySet s(&stats);
+  s.Insert(AttributeSet{0});
+  s.Insert(AttributeSet{0});       // rejected (covered)
+  s.Insert(AttributeSet{0, 1});    // evicts {0}
+  EXPECT_EQ(stats.non_key_insert_attempts, 3);
+  EXPECT_EQ(stats.non_keys_rejected_covered, 1);
+  EXPECT_EQ(stats.non_keys_evicted, 1);
+}
+
+TEST(NonKeySet, EmptySetMemberCoversOnlyEmpty) {
+  NonKeySet s;
+  EXPECT_TRUE(s.Insert(AttributeSet{}));
+  EXPECT_TRUE(s.CoversSet(AttributeSet{}));
+  EXPECT_FALSE(s.CoversSet(AttributeSet{0}));
+  // Any non-empty non-key evicts the empty one.
+  EXPECT_TRUE(s.Insert(AttributeSet{0}));
+  EXPECT_EQ(s.size(), 1);
+}
+
+}  // namespace
+}  // namespace gordian

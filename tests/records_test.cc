@@ -1,0 +1,103 @@
+// Tests for semi-structured record flattening (table/records) and its
+// end-to-end use with GORDIAN — profiling a document collection with a
+// common schema, as Section 1 of the paper envisions.
+
+#include "table/records.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gordian.h"
+
+namespace gordian {
+namespace {
+
+TEST(Records, FlattensUnionOfFieldsWithNulls) {
+  std::vector<Record> docs = {
+      {{"id", Value(int64_t{1})}, {"name", Value("ada")}},
+      {{"id", Value(int64_t{2})}, {"email", Value("b@x")}},
+  };
+  Table t;
+  ASSERT_TRUE(FlattenRecords(docs, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_columns(), 3);
+  // Columns are sorted: email, id, name.
+  EXPECT_EQ(t.schema().name(0), "email");
+  EXPECT_EQ(t.schema().name(1), "id");
+  EXPECT_EQ(t.schema().name(2), "name");
+  EXPECT_TRUE(t.value(0, 0).is_null());   // doc 1 has no email
+  EXPECT_TRUE(t.value(1, 2).is_null());   // doc 2 has no name
+  EXPECT_EQ(t.value(1, 0), Value("b@x"));
+}
+
+TEST(Records, FieldOrderWithinRecordIrrelevant) {
+  std::vector<Record> docs = {
+      {{"a", Value(int64_t{1})}, {"b", Value(int64_t{2})}},
+      {{"b", Value(int64_t{3})}, {"a", Value(int64_t{4})}},
+  };
+  Table t;
+  ASSERT_TRUE(FlattenRecords(docs, &t).ok());
+  EXPECT_EQ(t.value(1, 0), Value(int64_t{4}));
+  EXPECT_EQ(t.value(1, 1), Value(int64_t{3}));
+}
+
+TEST(Records, RejectsDuplicateFieldAndEmptyInput) {
+  std::vector<Record> dup = {
+      {{"a", Value(int64_t{1})}, {"a", Value(int64_t{2})}}};
+  Table t;
+  EXPECT_FALSE(FlattenRecords(dup, &t).ok());
+  std::vector<Record> empty;
+  EXPECT_FALSE(FlattenRecords(empty, &t).ok());
+  std::vector<Record> no_fields = {{}};
+  EXPECT_FALSE(FlattenRecords(no_fields, &t).ok());
+}
+
+TEST(Records, KeyDiscoveryOverDocumentCollection) {
+  // A document collection where /doc/@id is a key and (author, title) is a
+  // composite key but author alone is not.
+  std::vector<Record> docs;
+  const char* authors[] = {"kim", "lee", "kim", "lee", "park"};
+  for (int i = 0; i < 5; ++i) {
+    docs.push_back({{"doc/@id", Value(int64_t{100 + i})},
+                    {"doc/author", Value(authors[i])},
+                    {"doc/title", Value("t" + std::to_string(i % 3))},
+                    {"doc/year", Value(int64_t{2000 + i % 2})}});
+  }
+  Table t;
+  ASSERT_TRUE(FlattenRecords(docs, &t).ok());
+  KeyDiscoveryResult r = FindKeys(t);
+  ASSERT_FALSE(r.no_keys);
+  int id = t.schema().Find("doc/@id");
+  bool id_is_key = false;
+  for (const DiscoveredKey& k : r.keys) {
+    if (k.attrs == AttributeSet::Single(id)) id_is_key = true;
+  }
+  EXPECT_TRUE(id_is_key);
+  // author alone must not be reported.
+  int author = t.schema().Find("doc/author");
+  for (const DiscoveredKey& k : r.keys) {
+    EXPECT_NE(k.attrs, AttributeSet::Single(author));
+  }
+}
+
+TEST(Records, NullsCompareEqualForKeyPurposes) {
+  // Two records both missing "opt": opt is NULL twice, so <opt> is a
+  // non-key even though the values are "missing".
+  std::vector<Record> docs = {
+      {{"id", Value(int64_t{1})}},
+      {{"id", Value(int64_t{2})}},
+  };
+  docs[0].push_back({"opt", Value::Null()});
+  docs[1].push_back({"opt", Value::Null()});
+  Table t;
+  ASSERT_TRUE(FlattenRecords(docs, &t).ok());
+  KeyDiscoveryResult r = FindKeys(t);
+  int opt = t.schema().Find("opt");
+  bool opt_non_key = false;
+  for (const AttributeSet& nk : r.non_keys) {
+    if (nk.Test(opt)) opt_non_key = true;
+  }
+  EXPECT_TRUE(opt_non_key);
+}
+
+}  // namespace
+}  // namespace gordian

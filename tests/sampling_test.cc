@@ -1,0 +1,170 @@
+// Tests for sampling-based discovery (Section 3.9): sample keys are a
+// superset of true keys, strength computation, and the T(K) estimator's
+// lower-bound behavior.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/gordian.h"
+#include "core/strength.h"
+#include "datagen/synthetic.h"
+
+namespace gordian {
+namespace {
+
+std::vector<AttributeSet> Sorted(std::vector<AttributeSet> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+Table MakeTable(int rows, uint64_t seed) {
+  SyntheticSpec spec = UniformSpec(6, rows, 32, 0.6, seed);
+  spec.columns[0].cardinality = 256;
+  spec.columns[5].cardinality = 64;
+  spec.planted_keys.push_back({0, 5});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+TEST(Sampling, SampleRunIsFlaggedAndFullRunIsNot) {
+  Table t = MakeTable(2000, 11);
+  GordianOptions opts;
+  opts.sample_rows = 200;
+  EXPECT_TRUE(FindKeys(t, opts).sampled);
+  EXPECT_FALSE(FindKeys(t).sampled);
+  // sample_rows >= table is not a sample.
+  opts.sample_rows = 5000;
+  EXPECT_FALSE(FindKeys(t, opts).sampled);
+}
+
+// Every true key of the full dataset survives in the sample: the sample's
+// minimal keys must each be a subset of... more precisely, each full-data
+// key K remains unique in every subset of rows, so the sample's minimal key
+// family covers K: some sample key is a subset of K.
+TEST(Sampling, TrueKeysAreNeverLost) {
+  Table t = MakeTable(3000, 12);
+  KeyDiscoveryResult full = FindKeys(t);
+  ASSERT_FALSE(full.no_keys);
+
+  for (int64_t sample_rows : {50, 300, 1000}) {
+    GordianOptions opts;
+    opts.sample_rows = sample_rows;
+    opts.sample_seed = 77;
+    KeyDiscoveryResult s = FindKeys(t, opts);
+    ASSERT_FALSE(s.no_keys);
+    for (const DiscoveredKey& fk : full.keys) {
+      bool covered = false;
+      for (const DiscoveredKey& sk : s.keys) {
+        if (fk.attrs.Covers(sk.attrs)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "lost true key " << fk.attrs.ToString()
+                           << " at sample " << sample_rows;
+    }
+  }
+}
+
+TEST(Sampling, FullSampleEqualsFullRun) {
+  Table t = MakeTable(500, 13);
+  GordianOptions opts;
+  opts.sample_rows = 500;  // not a proper subset -> full run
+  EXPECT_EQ(Sorted(FindKeys(t, opts).KeySets()),
+            Sorted(FindKeys(t).KeySets()));
+}
+
+TEST(Sampling, ValidateKeysFillsExactStrength) {
+  Table t = MakeTable(2000, 14);
+  GordianOptions opts;
+  opts.sample_rows = 100;
+  KeyDiscoveryResult r = FindKeys(t, opts);
+  for (const DiscoveredKey& k : r.keys) EXPECT_LT(k.exact_strength, 0);
+  ValidateKeys(t, &r);
+  for (const DiscoveredKey& k : r.keys) {
+    EXPECT_GE(k.exact_strength, 0.0);
+    EXPECT_LE(k.exact_strength, 1.0);
+    EXPECT_DOUBLE_EQ(k.exact_strength, t.Strength(k.attrs));
+  }
+  // The planted key must validate at strength exactly 1.
+  bool found_true_key = false;
+  for (const DiscoveredKey& k : r.keys) {
+    if (k.exact_strength == 1.0) found_true_key = true;
+  }
+  EXPECT_TRUE(found_true_key);
+}
+
+TEST(Strength, ExactStrengthDefinition) {
+  TableBuilder b(Schema(std::vector<std::string>{"a", "b"}));
+  b.AddRow({Value(int64_t{1}), Value(int64_t{1})});
+  b.AddRow({Value(int64_t{1}), Value(int64_t{2})});
+  b.AddRow({Value(int64_t{2}), Value(int64_t{1})});
+  b.AddRow({Value(int64_t{2}), Value(int64_t{1})});
+  Table t = b.Build();
+  EXPECT_DOUBLE_EQ(ExactStrength(t, AttributeSet{0}), 0.5);
+  EXPECT_DOUBLE_EQ(ExactStrength(t, AttributeSet{0, 1}), 0.75);
+}
+
+TEST(Strength, EstimatorMatchesFormula) {
+  TableBuilder b(Schema(std::vector<std::string>{"a", "b"}));
+  for (int i = 0; i < 10; ++i) {
+    b.AddRow({Value(int64_t{i}), Value(int64_t{i % 3})});
+  }
+  Table t = b.Build();
+  // N=10; D_a=10, D_b=3.
+  double expected_a = 1.0 - (10.0 - 10 + 1) / 12.0;
+  double expected_ab = 1.0 - ((10.0 - 10 + 1) / 12.0) * ((10.0 - 3 + 1) / 12.0);
+  EXPECT_DOUBLE_EQ(EstimatedStrengthLowerBound(t, AttributeSet{0}), expected_a);
+  EXPECT_DOUBLE_EQ(EstimatedStrengthLowerBound(t, AttributeSet{0, 1}),
+                   expected_ab);
+}
+
+TEST(Strength, EstimatorIsInUnitIntervalAndMonotoneInAttributes) {
+  Table t = MakeTable(1000, 15).SampleRows(200, 3);
+  AttributeSet k1{0};
+  AttributeSet k2{0, 5};
+  double e1 = EstimatedStrengthLowerBound(t, k1);
+  double e2 = EstimatedStrengthLowerBound(t, k2);
+  EXPECT_GE(e1, 0.0);
+  EXPECT_LE(e1, 1.0);
+  EXPECT_GE(e2, e1);  // more attributes -> higher estimated strength
+}
+
+// Statistical check of the paper's claim: "with fairly high probability,
+// T(K) is a reasonably tight lower bound on the strength" of sample keys.
+TEST(Strength, EstimatorIsUsuallyALowerBound) {
+  int below = 0, total = 0;
+  for (uint64_t trial = 0; trial < 30; ++trial) {
+    Table t = MakeTable(2000, 100 + trial);
+    Table sample = t.SampleRows(150, trial);
+    KeyDiscoveryResult r = FindKeys(sample);
+    if (r.no_keys) continue;
+    for (const DiscoveredKey& k : r.keys) {
+      double est = EstimatedStrengthLowerBound(sample, k.attrs);
+      double exact = t.Strength(k.attrs);
+      ++total;
+      if (est <= exact + 1e-9) ++below;
+    }
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GE(static_cast<double>(below) / total, 0.9)
+      << below << "/" << total << " keys had T(K) <= strength";
+}
+
+TEST(Sampling, EstimatedStrengthAttachedToSampleKeys) {
+  Table t = MakeTable(2000, 16);
+  GordianOptions opts;
+  opts.sample_rows = 100;
+  KeyDiscoveryResult r = FindKeys(t, opts);
+  for (const DiscoveredKey& k : r.keys) {
+    EXPECT_GT(k.estimated_strength, 0.0);
+    EXPECT_LE(k.estimated_strength, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,202 @@
+// Unit tests for the table substrate: values, dictionaries, builder,
+// distinct counting, uniqueness, strength, sampling, projections.
+
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "table/dictionary.h"
+#include "table/value.h"
+
+namespace gordian {
+namespace {
+
+Table SmallTable() {
+  TableBuilder b(Schema(std::vector<std::string>{"a", "b", "c"}));
+  b.AddRow({Value(int64_t{1}), Value("x"), Value(1.5)});
+  b.AddRow({Value(int64_t{1}), Value("y"), Value(2.5)});
+  b.AddRow({Value(int64_t{2}), Value("x"), Value(1.5)});
+  b.AddRow({Value(int64_t{2}), Value("y"), Value(1.5)});
+  return b.Build();
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{42}).int64(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.25).dbl(), 3.25);
+  EXPECT_EQ(Value("hi").str(), "hi");
+  EXPECT_EQ(Value(int64_t{42}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.25).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+}
+
+TEST(Value, EqualityAndNullSemantics) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  // NULL compares equal to NULL: two all-NULL rows are duplicates.
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(Dictionary, EncodeAssignsDenseCodesInFirstSeenOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.Encode(Value("a")), 0u);
+  EXPECT_EQ(d.Encode(Value("b")), 1u);
+  EXPECT_EQ(d.Encode(Value("a")), 0u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Decode(1), Value("b"));
+  EXPECT_EQ(d.Lookup(Value("b")), 1u);
+  EXPECT_EQ(d.Lookup(Value("zzz")), UINT32_MAX);
+}
+
+TEST(Dictionary, MixedTypesCoexist) {
+  Dictionary d;
+  uint32_t c_int = d.Encode(Value(int64_t{1}));
+  uint32_t c_str = d.Encode(Value("1"));
+  uint32_t c_null = d.Encode(Value::Null());
+  EXPECT_NE(c_int, c_str);
+  EXPECT_NE(c_int, c_null);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(TableBuilder, BuildsExpectedShape) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.schema().name(1), "b");
+  EXPECT_EQ(t.value(0, 1), Value("x"));
+  EXPECT_EQ(t.value(3, 0), Value(int64_t{2}));
+}
+
+TEST(Table, ColumnCardinality) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.ColumnCardinality(0), 2);
+  EXPECT_EQ(t.ColumnCardinality(1), 2);
+  EXPECT_EQ(t.ColumnCardinality(2), 2);
+}
+
+TEST(Table, DistinctCount) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0}), 2);
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0, 1}), 4);
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0, 2}), 3);
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0, 1, 2}), 4);
+  EXPECT_EQ(t.DistinctCount(AttributeSet{}), 1);
+}
+
+TEST(Table, IsUniqueMatchesDistinctCount) {
+  Table t = SmallTable();
+  EXPECT_TRUE(t.IsUnique(AttributeSet{0, 1}));
+  EXPECT_FALSE(t.IsUnique(AttributeSet{0}));
+  EXPECT_FALSE(t.IsUnique(AttributeSet{0, 2}));
+  EXPECT_FALSE(t.IsUnique(AttributeSet{}));
+}
+
+TEST(Table, Strength) {
+  Table t = SmallTable();
+  EXPECT_DOUBLE_EQ(t.Strength(AttributeSet{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.Strength(AttributeSet{0}), 0.5);
+  EXPECT_DOUBLE_EQ(t.Strength(AttributeSet{0, 2}), 0.75);
+}
+
+TEST(Table, EmptyTableConventions) {
+  TableBuilder b(Schema(std::vector<std::string>{"a"}));
+  Table t = b.Build();
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.DistinctCount(AttributeSet{0}), 0);
+  EXPECT_TRUE(t.IsUnique(AttributeSet{0}));
+  EXPECT_DOUBLE_EQ(t.Strength(AttributeSet{0}), 1.0);
+}
+
+TEST(Table, SampleRowsSharesDictionariesAndPreservesOrder) {
+  TableBuilder b(Schema(std::vector<std::string>{"id", "tag"}));
+  for (int64_t i = 0; i < 100; ++i) {
+    b.AddRow({Value(i), Value("t" + std::to_string(i % 7))});
+  }
+  Table t = b.Build();
+  Table s = t.SampleRows(30, /*seed=*/9);
+  EXPECT_EQ(s.num_rows(), 30);
+  EXPECT_EQ(s.num_columns(), 2);
+  // Shared dictionary: same decoded values for same codes.
+  EXPECT_EQ(&s.dictionary(0), &t.dictionary(0));
+  // Order preserved: the id column (insertion-ordered codes) is ascending.
+  for (int64_t r = 1; r < s.num_rows(); ++r) {
+    EXPECT_LT(s.value(r - 1, 0).int64(), s.value(r, 0).int64());
+  }
+  // Sampling without replacement: all ids distinct.
+  EXPECT_EQ(s.DistinctCount(AttributeSet{0}), 30);
+}
+
+TEST(Table, SampleRowsClampsAndIsDeterministic) {
+  Table t = SmallTable();
+  Table s1 = t.SampleRows(1000, 3);
+  EXPECT_EQ(s1.num_rows(), 4);
+  Table s2 = t.SampleRows(2, 3);
+  Table s3 = t.SampleRows(2, 3);
+  ASSERT_EQ(s2.num_rows(), 2);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(s2.code(r, c), s3.code(r, c));
+  }
+}
+
+TEST(Table, ProjectAndSelectColumns) {
+  Table t = SmallTable();
+  Table p = t.ProjectColumns(2);
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.schema().name(1), "b");
+  EXPECT_EQ(p.num_rows(), 4);
+
+  Table sel = t.SelectColumns({2, 0});
+  EXPECT_EQ(sel.num_columns(), 2);
+  EXPECT_EQ(sel.schema().name(0), "c");
+  EXPECT_EQ(sel.value(0, 1), Value(int64_t{1}));
+}
+
+TEST(Table, DistinctCountFastAgreesWithSortBased) {
+  // Property: the fingerprint-based count equals the exact sort-based count
+  // on randomized tables.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    TableBuilder b(Schema(std::vector<std::string>{"a", "b", "c", "d"}));
+    uint64_t state = seed * 977 + 13;
+    for (int i = 0; i < 500; ++i) {
+      auto next = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<int64_t>(state >> 33);
+      };
+      b.AddRow({Value(next() % 7), Value(next() % 13), Value(next() % 3),
+                Value(next() % 50)});
+    }
+    Table t = b.Build();
+    for (AttributeSet attrs :
+         {AttributeSet{0}, AttributeSet{0, 1}, AttributeSet{1, 2, 3},
+          AttributeSet{0, 1, 2, 3}, AttributeSet{}}) {
+      EXPECT_EQ(t.DistinctCountFast(attrs), t.DistinctCount(attrs))
+          << attrs.ToString() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Table, RowToString) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.RowToString(0), "1|x|1.500000");
+}
+
+TEST(Schema, FindAndDescribe) {
+  Schema s(std::vector<std::string>{"x", "y", "z"});
+  EXPECT_EQ(s.Find("y"), 1);
+  EXPECT_EQ(s.Find("nope"), -1);
+  EXPECT_EQ(s.Describe(AttributeSet{0, 2}), "<x, z>");
+}
+
+}  // namespace
+}  // namespace gordian
