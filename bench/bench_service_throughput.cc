@@ -1,0 +1,108 @@
+// bench_service_throughput: jobs/sec of the profiling service against plain
+// sequential FindKeys, at 1 worker and at one worker per hardware thread,
+// plus the warm-cache speedup when every table is already in the catalog.
+//
+// Usage: bench_service_throughput [--tables=N] [--rows=N] [--threads=N]
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "core/gordian.h"
+#include "datagen/synthetic.h"
+#include "service/profiling_service.h"
+
+namespace {
+
+using gordian::bench::FormatRatio;
+using gordian::bench::FormatSeconds;
+using gordian::bench::SeriesPrinter;
+
+std::vector<gordian::Table> MakeTables(int count, int64_t rows) {
+  std::vector<gordian::Table> tables;
+  for (int i = 0; i < count; ++i) {
+    gordian::SyntheticSpec spec =
+        gordian::UniformSpec(8, rows, 24, 0.5, 9000 + i);
+    spec.columns[0].cardinality = 512;
+    spec.columns[3].cardinality = 64;
+    spec.planted_keys.push_back({0, 3});
+    gordian::Table t;
+    gordian::Status s = gordian::GenerateSynthetic(spec, &t);
+    if (!s.ok()) {
+      std::fprintf(stderr, "datagen failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+double RunService(const std::vector<gordian::Table>& tables, int threads,
+                  gordian::KeyCatalog* catalog) {
+  gordian::ServiceOptions options;
+  options.num_threads = threads;
+  options.catalog = catalog;
+  gordian::ProfilingService service(options);
+  gordian::Stopwatch watch;
+  std::vector<gordian::JobId> ids;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    ids.push_back(
+        service.SubmitTable("t" + std::to_string(i), &tables[i]));
+  }
+  for (gordian::JobId id : ids) (void)service.Wait(id);
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gordian::Flags flags(argc, argv);
+  const int num_tables = static_cast<int>(flags.GetInt("tables", 24));
+  const int64_t rows = flags.GetInt("rows", 4000);
+  const int max_threads = flags.ThreadCount();
+
+  gordian::bench::Banner(
+      "profiling service throughput",
+      "the service layer; jobs/sec vs sequential FindKeys");
+
+  std::vector<gordian::Table> tables = MakeTables(num_tables, rows);
+
+  // Sequential baseline: plain FindKeys on the caller's thread.
+  gordian::Stopwatch watch;
+  for (const gordian::Table& t : tables) (void)gordian::FindKeys(t);
+  const double seq_seconds = watch.ElapsedSeconds();
+
+  // Cold service runs (fresh catalog each) at 1 and max_threads workers.
+  gordian::KeyCatalog cold1;
+  const double svc1_seconds = RunService(tables, 1, &cold1);
+  gordian::KeyCatalog coldN;
+  const double svcN_seconds = RunService(tables, max_threads, &coldN);
+
+  // Warm run: catalog already holds every table, so each job is a hit.
+  const double warm_seconds = RunService(tables, max_threads, &coldN);
+
+  const double n = static_cast<double>(num_tables);
+  SeriesPrinter printer(
+      {"configuration", "seconds", "jobs/sec", "vs sequential"});
+  printer.AddRow({"sequential FindKeys", FormatSeconds(seq_seconds),
+                  FormatRatio(n / seq_seconds), "1.00"});
+  printer.AddRow({"service, 1 thread", FormatSeconds(svc1_seconds),
+                  FormatRatio(n / svc1_seconds),
+                  FormatRatio(seq_seconds / svc1_seconds)});
+  printer.AddRow({"service, " + std::to_string(max_threads) + " thread(s)",
+                  FormatSeconds(svcN_seconds), FormatRatio(n / svcN_seconds),
+                  FormatRatio(seq_seconds / svcN_seconds)});
+  printer.AddRow({"service, warm cache", FormatSeconds(warm_seconds),
+                  FormatRatio(n / warm_seconds),
+                  FormatRatio(seq_seconds / warm_seconds)});
+  printer.Print();
+
+  std::printf("\n%d tables x %lld rows; warm-cache speedup over cold run: "
+              "%.1fx\n",
+              num_tables, static_cast<long long>(rows),
+              svcN_seconds / warm_seconds);
+  return 0;
+}

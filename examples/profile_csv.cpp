@@ -1,20 +1,29 @@
-// profile_csv: a command-line data profiler. Loads a CSV file, runs GORDIAN
+// profile_csv: a command-line data profiler. Loads CSV files, runs GORDIAN
 // (optionally on a sample), and reports the discovered keys with strength
 // estimates — the workflow a DBA would run against an undocumented table.
 //
 // Usage:
-//   ./build/examples/profile_csv [file.csv] [sample_rows]
+//   ./build/examples/profile_csv [flags] [file.csv ...]
+//     --sample=N    profile an N-row sample (0 = full table)
+//     --timeout=S   wall-clock budget per file, in seconds
+//     --threads=N   workers for multi-file runs (0 = one per hardware thread)
 //
+// One file is profiled inline with a detailed report. Several files are
+// profiled concurrently through the ProfilingService, one job per file.
 // With no arguments a demo catalog CSV is generated into the working
 // directory and profiled, so the example is runnable out of the box.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "common/flags.h"
 #include "core/gordian.h"
 #include "core/strength.h"
 #include "datagen/opic_like.h"
+#include "service/metrics.h"
+#include "service/profiling_service.h"
 #include "table/csv.h"
 #include "table/table.h"
 
@@ -33,12 +42,8 @@ std::string EnsureDemoCsv() {
   return path;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string path = argc > 1 ? argv[1] : EnsureDemoCsv();
-  int64_t sample_rows = argc > 2 ? std::atoll(argv[2]) : 0;
-
+int ProfileOneFile(const std::string& path,
+                   const gordian::GordianOptions& options) {
   gordian::Table table;
   gordian::Status s = gordian::ReadCsv(path, gordian::CsvOptions{}, &table);
   if (!s.ok()) {
@@ -53,8 +58,6 @@ int main(int argc, char** argv) {
                 static_cast<long long>(table.ColumnCardinality(c)));
   }
 
-  gordian::GordianOptions options;
-  options.sample_rows = sample_rows;
   gordian::KeyDiscoveryResult result = gordian::FindKeys(table, options);
 
   if (result.no_keys) {
@@ -62,12 +65,16 @@ int main(int argc, char** argv) {
                 "key.\n");
     return 0;
   }
+  if (result.incomplete) {
+    std::printf("\nsearch aborted (budget/timeout); no keys certified\n");
+    return 0;
+  }
   if (result.sampled) {
     // Sample keys may be approximate; validate against the full file.
     gordian::ValidateKeys(table, &result);
     std::printf("\nprofiled a %lld-row sample; keys below are validated "
                 "against the full file\n",
-                static_cast<long long>(sample_rows));
+                static_cast<long long>(options.sample_rows));
   }
 
   std::printf("\ndiscovered keys (%zu):\n", result.keys.size());
@@ -85,4 +92,63 @@ int main(int argc, char** argv) {
               result.stats.TotalSeconds(), result.stats.build_seconds,
               result.stats.find_seconds, result.stats.convert_seconds);
   return 0;
+}
+
+int ProfileManyFiles(const std::vector<std::string>& paths,
+                     const gordian::GordianOptions& options, int threads,
+                     double timeout_seconds) {
+  gordian::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  gordian::ProfilingService service(service_options);
+  std::printf("profiling %zu files on %d worker thread(s)\n\n", paths.size(),
+              service.num_threads());
+
+  gordian::ProfileJobOptions job;
+  job.gordian = options;
+  job.timeout_seconds = timeout_seconds;
+  std::vector<gordian::JobId> ids;
+  for (const std::string& path : paths) {
+    ids.push_back(service.SubmitCsv(path, path, gordian::CsvOptions{}, job));
+  }
+
+  int failures = 0;
+  for (gordian::JobId id : ids) {
+    gordian::ProfileOutcome out = service.Wait(id);
+    if (out.info.state == gordian::JobState::kFailed) {
+      std::printf("%-32s FAILED: %s\n", out.table_name.c_str(),
+                  out.info.error.c_str());
+      ++failures;
+      continue;
+    }
+    if (out.result.incomplete) {
+      std::printf("%-32s incomplete (budget/timeout) in %.3f s\n",
+                  out.table_name.c_str(), out.info.latency_seconds);
+      continue;
+    }
+    std::printf("%-32s %zu key(s) in %.3f s%s\n", out.table_name.c_str(),
+                out.result.keys.size(), out.info.latency_seconds,
+                out.result.no_keys ? " [duplicate rows: no keys]" : "");
+  }
+
+  std::printf("\n%s", FormatServiceMetrics(service.Metrics()).c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gordian::Flags flags(argc, argv);
+  std::vector<std::string> paths = flags.positional();
+  if (paths.empty()) paths.push_back(EnsureDemoCsv());
+
+  gordian::GordianOptions options;
+  options.sample_rows = flags.GetInt("sample", 0);
+  const double timeout_seconds = flags.GetDouble("timeout", 0);
+  options.time_budget_seconds = timeout_seconds;
+
+  if (paths.size() == 1) {
+    return ProfileOneFile(paths[0], options);
+  }
+  return ProfileManyFiles(paths, options, flags.ThreadCount(),
+                          timeout_seconds);
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gordian {
@@ -61,6 +62,15 @@ class Flags {
     auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     return it->second != "false" && it->second != "0";
+  }
+
+  // Worker-count convention shared by the concurrent binaries: absent or
+  // "--threads=0" means one per hardware thread (never less than 1).
+  int ThreadCount(const std::string& name = "threads") const {
+    int64_t n = GetInt(name, 0);
+    if (n > 0) return static_cast<int>(n);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
   const std::vector<std::string>& positional() const { return positional_; }

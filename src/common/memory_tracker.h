@@ -1,7 +1,7 @@
 #ifndef GORDIAN_COMMON_MEMORY_TRACKER_H_
 #define GORDIAN_COMMON_MEMORY_TRACKER_H_
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace gordian {
@@ -11,26 +11,40 @@ namespace gordian {
 // tracker keeps the current and peak totals. This is deliberate manual
 // instrumentation (not a malloc hook) so each algorithm reports exactly the
 // memory its own structures use.
+//
+// Thread-safe: concurrent profiling jobs may share one tracker. The peak is
+// maintained with a CAS loop, so it never under-reports a high-water mark
+// even when two threads allocate at once. Relaxed ordering suffices —
+// counters are independent tallies, not synchronization points.
 class MemoryTracker {
  public:
   void Add(int64_t bytes) {
-    current_ += bytes;
-    peak_ = std::max(peak_, current_);
+    int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
-  void Release(int64_t bytes) { current_ -= bytes; }
+  void Release(int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 
-  int64_t current_bytes() const { return current_; }
-  int64_t peak_bytes() const { return peak_; }
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
   void Reset() {
-    current_ = 0;
-    peak_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  int64_t current_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 }  // namespace gordian

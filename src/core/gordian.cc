@@ -114,6 +114,16 @@ KeyDiscoveryResult FindKeys(const Table& table, const GordianOptions& options) {
   }
   result.stats.rows_processed = data->num_rows();
 
+  auto cancelled = [&options] {
+    return options.cancel_flag != nullptr &&
+           options.cancel_flag->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    result.incomplete = true;
+    result.incomplete_reason = AbortReason::kCancelled;
+    return result;
+  }
+
   // Phase 1: compress the dataset into a prefix tree (Algorithm 2).
   Stopwatch watch;
   std::vector<int> order = ComputeAttributeOrder(*data, options);
@@ -130,11 +140,19 @@ KeyDiscoveryResult FindKeys(const Table& table, const GordianOptions& options) {
     return result;
   }
 
+  if (cancelled()) {
+    result.incomplete = true;
+    result.incomplete_reason = AbortReason::kCancelled;
+    result.stats.peak_memory_bytes = tree.pool().peak_bytes();
+    return result;
+  }
+
   // Phase 2: discover all non-redundant non-keys (Algorithm 4).
   watch.Restart();
   NonKeySet non_key_set(&result.stats);
   NonKeyFinder finder(tree, options, &non_key_set, &result.stats);
   result.incomplete = !finder.Run();
+  result.incomplete_reason = finder.abort_reason();
   result.stats.find_seconds = watch.ElapsedSeconds();
   result.stats.final_non_keys = non_key_set.size();
   result.non_keys = non_key_set.non_keys();

@@ -37,10 +37,14 @@ struct KeyDiscoveryResult {
   bool sampled = false;
 
   // True iff discovery stopped early because a budget in GordianOptions
-  // (max_non_keys / time_budget_seconds) tripped. The non-keys listed are
-  // all genuine but possibly not exhaustive; `keys` is left empty because a
-  // partial non-key set cannot certify keys.
+  // (max_non_keys / time_budget_seconds) tripped or the run was cancelled
+  // through options.cancel_flag. The non-keys listed are all genuine but
+  // possibly not exhaustive; `keys` is left empty because a partial non-key
+  // set cannot certify keys.
   bool incomplete = false;
+
+  // Which limit stopped the run; kNone when incomplete is false.
+  AbortReason incomplete_reason = AbortReason::kNone;
 
   GordianStats stats;
 

@@ -29,8 +29,19 @@ bool NonKeyFinder::Run() {
 
 bool NonKeyFinder::OverBudget() {
   if (aborted_) return true;
+  // A relaxed load per Visit is noise next to the traversal work, so the
+  // cancellation flag — unlike the clock — is polled unamortized: a
+  // cancelled service job should unwind promptly.
+  if (options_.cancel_flag != nullptr &&
+      options_.cancel_flag->load(std::memory_order_relaxed)) {
+    aborted_ = true;
+    abort_reason_ = AbortReason::kCancelled;
+    return true;
+  }
   if (options_.max_non_keys > 0 && non_keys_->size() > options_.max_non_keys) {
     aborted_ = true;
+    abort_reason_ = AbortReason::kNonKeyBudget;
+    return true;
   }
   // The wall-clock check is amortized: nodes_visited ticks on every Visit,
   // so checking every 4096 visits keeps the overhead negligible.
@@ -38,6 +49,7 @@ bool NonKeyFinder::OverBudget() {
       (stats_->nodes_visited & 0xFFF) == 0 &&
       budget_watch_.ElapsedSeconds() > options_.time_budget_seconds) {
     aborted_ = true;
+    abort_reason_ = AbortReason::kTimeBudget;
   }
   return aborted_;
 }

@@ -48,8 +48,12 @@ class NonKeyFinder {
 
   // Runs the traversal, populating the NonKeySet passed at construction.
   // Returns false if a budget (options.max_non_keys /
-  // options.time_budget_seconds) tripped and the traversal stopped early.
+  // options.time_budget_seconds) tripped or options.cancel_flag was raised
+  // and the traversal stopped early; abort_reason() then says which.
   bool Run();
+
+  // Why the traversal stopped early, or kNone after a complete run.
+  AbortReason abort_reason() const { return abort_reason_; }
 
  private:
   void Visit(PrefixTree::Node* node, int level);
@@ -75,6 +79,7 @@ class NonKeyFinder {
   // Budget state (see GordianOptions): aborted_ unwinds the recursion.
   Stopwatch budget_watch_;
   bool aborted_ = false;
+  AbortReason abort_reason_ = AbortReason::kNone;
 };
 
 }  // namespace gordian

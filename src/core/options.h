@@ -1,9 +1,20 @@
 #ifndef GORDIAN_CORE_OPTIONS_H_
 #define GORDIAN_CORE_OPTIONS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace gordian {
+
+// Why a discovery run stopped before exhausting the search space. kNone for
+// complete runs; the other values correspond to the safety valves in
+// GordianOptions and to cooperative cancellation (profiling-service jobs).
+enum class AbortReason {
+  kNone = 0,
+  kNonKeyBudget,  // max_non_keys tripped
+  kTimeBudget,    // time_budget_seconds tripped
+  kCancelled,     // *cancel_flag became true
+};
 
 // Tuning knobs for GORDIAN. The defaults reproduce the full algorithm of the
 // paper; the pruning toggles exist for the Figure 13 ablation and for
@@ -69,6 +80,13 @@ struct GordianOptions {
   // keys). 0 = unlimited.
   int64_t max_non_keys = 0;
   double time_budget_seconds = 0;
+
+  // Cooperative cancellation. When non-null, the flag is polled at phase
+  // boundaries and inside NonKeyFinder's outer recursion; once it reads
+  // true, discovery unwinds and the result comes back incomplete with
+  // reason kCancelled. The pointed-to flag must outlive the run. Used by
+  // the profiling service to cancel in-flight jobs without killing threads.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 // Counters and timings reported by a discovery run; feeds Table 2 and the

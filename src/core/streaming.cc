@@ -59,10 +59,12 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
     }
   }
 
-  // Reset for reuse.
+  // Reset for reuse. The PRNG is re-seeded too, so a reused profiler draws
+  // the same reservoir as a freshly constructed one over the same stream.
   builder_ = TableBuilder(schema_);
   reservoir_.clear();
   rows_seen_ = 0;
+  rng_ = Random(options_.sample_seed);
   return result;
 }
 
@@ -104,6 +106,16 @@ Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
       row.push_back(ParseCsvField(f, csv_options.infer_types));
     }
     profiler->AddRow(row);
+    // Ingest can dominate the wall clock on large files, so cancellation
+    // must be observable here, not just inside discovery. Amortized: the
+    // atomic load happens once every 4096 rows.
+    if ((line_no & 0xFFF) == 0 && options.cancel_flag != nullptr &&
+        options.cancel_flag->load(std::memory_order_relaxed)) {
+      *out = KeyDiscoveryResult{};
+      out->incomplete = true;
+      out->incomplete_reason = AbortReason::kCancelled;
+      return Status::OK();
+    }
   }
   if (profiler == nullptr) {
     return Status::InvalidArgument("empty CSV file: " + path);

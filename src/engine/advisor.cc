@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "table/fingerprint.h"
+
 namespace gordian {
 
 std::vector<std::vector<int>> RecommendIndexColumns(
@@ -27,6 +29,24 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
     indexes.push_back(std::make_unique<CompositeIndex>(table, store, cols));
   }
   return Planner(std::move(indexes));
+}
+
+Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
+                                KeyCatalog* catalog,
+                                const GordianOptions& options) {
+  const uint64_t fp = TableFingerprint(table);
+  if (catalog != nullptr) {
+    CatalogEntry entry;
+    if (catalog->Lookup(fp, &entry)) {
+      return BuildRecommendedIndexes(table, store, entry.result);
+    }
+  }
+  KeyDiscoveryResult result = FindKeys(table, options);
+  if (catalog != nullptr && !result.incomplete) {
+    // Tables carry no name; the advisor records entries anonymously.
+    catalog->Put(fp, "", table.num_columns(), result);
+  }
+  return BuildRecommendedIndexes(table, store, result);
 }
 
 }  // namespace gordian

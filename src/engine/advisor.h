@@ -7,6 +7,7 @@
 #include "core/gordian.h"
 #include "engine/executor.h"
 #include "engine/row_store.h"
+#include "service/key_catalog.h"
 
 namespace gordian {
 
@@ -22,6 +23,13 @@ std::vector<std::vector<int>> RecommendIndexColumns(
 // Planner ready to execute a workload.
 Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
                                 const KeyDiscoveryResult& result);
+
+// Catalog-backed variant: fingerprints the table and serves the key set
+// from `catalog` when present, running (and caching) discovery otherwise.
+// A re-advised unchanged table therefore skips discovery entirely.
+Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
+                                KeyCatalog* catalog,
+                                const GordianOptions& options = {});
 
 }  // namespace gordian
 

@@ -1,0 +1,161 @@
+#include "service/job_scheduler.h"
+
+#include <exception>
+#include <utility>
+
+namespace gordian {
+
+JobScheduler::JobScheduler(int num_threads)
+    : pool_(num_threads <= 0 ? DefaultThreadCount() : num_threads) {}
+
+JobScheduler::~JobScheduler() { WaitAll(); }
+
+JobId JobScheduler::Submit(std::function<void(const JobContext&)> body,
+                           int priority) {
+  JobId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->priority = priority;
+    job->seq = next_seq_++;
+    job->body = std::move(body);
+    job->watch.Restart();
+    ready_.insert({-priority, job->seq, id});
+    jobs_.emplace(id, std::move(job));
+    ++active_;
+  }
+  pool_.Submit([this] { RunNext(); });
+  return id;
+}
+
+void JobScheduler::RunNext() {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Empty only when a queued job was cancelled after its pool slot was
+    // submitted; that slot then has nothing to do.
+    if (ready_.empty()) return;
+    auto it = ready_.begin();
+    job = jobs_.at(std::get<2>(*it)).get();
+    ready_.erase(it);
+    job->state = JobState::kRunning;
+    ++running_;
+  }
+
+  JobContext ctx;
+  ctx.id = job->id;
+  ctx.cancel_flag = &job->cancel;
+  JobState final_state = JobState::kSucceeded;
+  std::string error;
+  try {
+    job->body(ctx);
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    error = e.what();
+  } catch (...) {
+    final_state = JobState::kFailed;
+    error = "unknown exception";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (final_state == JobState::kSucceeded &&
+        job->cancel.load(std::memory_order_relaxed)) {
+      // The body returned after a cancel request: the job counts as
+      // cancelled; whatever partial result it produced is marked incomplete
+      // by the body itself.
+      final_state = JobState::kCancelled;
+    }
+    job->error = std::move(error);
+    FinishLocked(*job, final_state);
+  }
+  done_cv_.notify_all();
+}
+
+void JobScheduler::FinishLocked(Job& job, JobState state) {
+  job.state = state;
+  job.latency_seconds = job.watch.ElapsedSeconds();
+  job.body = nullptr;  // release captured resources promptly
+  --active_;
+}
+
+bool JobScheduler::Cancel(JobId id, bool* cancelled_before_running) {
+  if (cancelled_before_running != nullptr) *cancelled_before_running = false;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    if (IsTerminal(job.state)) return false;
+    job.cancel.store(true, std::memory_order_relaxed);
+    if (job.state == JobState::kQueued) {
+      if (cancelled_before_running != nullptr) *cancelled_before_running = true;
+      // Dequeue so it never runs; its pool slot becomes a no-op.
+      ready_.erase({-job.priority, job.seq, job.id});
+      FinishLocked(job, JobState::kCancelled);
+      notify = true;
+    }
+  }
+  if (notify) done_cv_.notify_all();
+  return true;
+}
+
+JobInfo JobScheduler::Poll(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobInfo info;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return info;
+  const Job& job = *it->second;
+  info.valid = true;
+  info.state = job.state;
+  info.priority = job.priority;
+  info.cancel_requested = job.cancel.load(std::memory_order_relaxed);
+  info.latency_seconds = job.latency_seconds;
+  info.error = job.error;
+  return info;
+}
+
+JobInfo JobScheduler::Wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return JobInfo{};
+  Job* job = it->second.get();
+  done_cv_.wait(lock, [job] { return IsTerminal(job->state); });
+  JobInfo info;
+  info.valid = true;
+  info.state = job->state;
+  info.priority = job->priority;
+  info.cancel_requested = job->cancel.load(std::memory_order_relaxed);
+  info.latency_seconds = job->latency_seconds;
+  info.error = job->error;
+  return info;
+}
+
+void JobScheduler::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+bool JobScheduler::Forget(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || !IsTerminal(it->second->state)) return false;
+  jobs_.erase(it);
+  return true;
+}
+
+int64_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(ready_.size());
+}
+
+int64_t JobScheduler::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace gordian

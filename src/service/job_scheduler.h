@@ -1,0 +1,149 @@
+#ifndef GORDIAN_SERVICE_JOB_SCHEDULER_H_
+#define GORDIAN_SERVICE_JOB_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/stopwatch.h"
+#include "service/thread_pool.h"
+
+namespace gordian {
+
+// Handle for a submitted job. Ids are process-unique and never reused.
+using JobId = int64_t;
+
+enum class JobState {
+  kQueued,     // accepted, not yet started
+  kRunning,    // a worker is executing the body
+  kSucceeded,  // body returned normally with no cancel request pending
+  kCancelled,  // cancelled while queued, or cancel requested while running
+  kFailed,     // body threw; JobInfo::error carries the message
+};
+
+// True for states a job can never leave.
+inline bool IsTerminal(JobState s) {
+  return s == JobState::kSucceeded || s == JobState::kCancelled ||
+         s == JobState::kFailed;
+}
+
+// Passed to every job body. The body is expected to poll `cancel_flag`
+// (directly or by handing it to GordianOptions::cancel_flag) and unwind
+// promptly once it reads true; the scheduler never kills a thread.
+struct JobContext {
+  JobId id = 0;
+  const std::atomic<bool>* cancel_flag = nullptr;
+
+  bool Cancelled() const {
+    return cancel_flag != nullptr &&
+           cancel_flag->load(std::memory_order_relaxed);
+  }
+};
+
+// Snapshot of one job, as returned by Poll/Wait.
+struct JobInfo {
+  bool valid = false;  // false iff the JobId is unknown (or forgotten)
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  bool cancel_requested = false;
+  // Submit-to-finish wall clock; 0 until the job reaches a terminal state.
+  double latency_seconds = 0;
+  std::string error;  // kFailed only
+};
+
+// Priority scheduling over a ThreadPool: jobs run highest priority first,
+// FIFO among equal priorities, with at most num_threads jobs in flight.
+// Submission, polling, waiting, and cancellation are all thread-safe.
+//
+// Cancellation is cooperative and two-phase: a queued job is dequeued and
+// finishes as kCancelled without ever running; a running job has its cancel
+// flag raised and finishes as kCancelled when its body returns. Either way
+// the worker thread survives and moves on to the next job.
+//
+// Completed jobs stay queryable until Forget(id) so results can be polled
+// at leisure; the destructor waits for every accepted job to finish.
+class JobScheduler {
+ public:
+  // 0 threads means one worker per hardware thread.
+  explicit JobScheduler(int num_threads);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  // Enqueues `body`. Larger `priority` runs earlier; ties run in submission
+  // order. Returns the job's handle.
+  JobId Submit(std::function<void(const JobContext&)> body, int priority = 0);
+
+  // Requests cancellation. Returns true if the job was still queued or
+  // running (it will finish as kCancelled), false if it is unknown or
+  // already terminal. When `cancelled_before_running` is non-null it is set
+  // to whether the job was dequeued without ever starting.
+  bool Cancel(JobId id, bool* cancelled_before_running = nullptr);
+
+  // Non-blocking snapshot; info.valid is false for unknown ids.
+  JobInfo Poll(JobId id) const;
+
+  // Blocks until the job is terminal and returns its final snapshot.
+  // Unknown ids return info.valid == false immediately.
+  JobInfo Wait(JobId id);
+
+  // Blocks until no job is queued or running.
+  void WaitAll();
+
+  // Drops the record of a terminal job. Returns false if the job is
+  // unknown or not yet terminal (non-terminal jobs are never dropped).
+  bool Forget(JobId id);
+
+  // Jobs accepted but not yet started.
+  int64_t queue_depth() const;
+  // Jobs currently executing.
+  int64_t running_jobs() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    int priority = 0;
+    int64_t seq = 0;
+    std::function<void(const JobContext&)> body;
+    JobState state = JobState::kQueued;
+    std::atomic<bool> cancel{false};
+    Stopwatch watch;  // started at submission
+    double latency_seconds = 0;
+    std::string error;
+  };
+
+  // Pops and runs the best ready job; the pool executes one call per
+  // submitted job, so the ready set is non-empty unless a queued job was
+  // cancelled out from under its slot.
+  void RunNext();
+  void FinishLocked(Job& job, JobState state);
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  // (-priority, seq, id): lexicographic order == scheduling order.
+  std::set<std::tuple<int, int64_t, JobId>> ready_;
+  JobId next_id_ = 1;
+  int64_t next_seq_ = 0;
+  int64_t running_ = 0;
+  int64_t active_ = 0;  // queued + running
+
+  // Declared last so it is destroyed first: the pool's destructor joins
+  // every worker while the mutex, condition variable, and job table above
+  // are still alive (a worker's final notify_all must not outlive them).
+  ThreadPool pool_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_JOB_SCHEDULER_H_

@@ -1,0 +1,264 @@
+#include "service/key_catalog.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace gordian {
+
+bool KeyCatalog::Put(uint64_t fingerprint, const std::string& table_name,
+                     int num_columns, const KeyDiscoveryResult& result) {
+  if (result.incomplete) return false;
+  CatalogEntry entry;
+  entry.fingerprint = fingerprint;
+  entry.table_name = table_name;
+  entry.num_columns = num_columns;
+  entry.result = result;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[fingerprint] = std::move(entry);
+  return true;
+}
+
+bool KeyCatalog::Lookup(uint64_t fingerprint, CatalogEntry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+bool KeyCatalog::Contains(uint64_t fingerprint) const {
+  return Lookup(fingerprint, nullptr);
+}
+
+bool KeyCatalog::Erase(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(fingerprint) > 0;
+}
+
+void KeyCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+int64_t KeyCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+std::vector<uint64_t> KeyCatalog::Fingerprints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [fp, entry] : entries_) out.push_back(fp);
+  return out;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'R', 'D', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Hard ceilings against corrupt counts: loading must never be talked into
+// gigabyte allocations by a flipped byte.
+constexpr uint64_t kMaxEntries = 1u << 20;
+constexpr uint32_t kMaxSetsPerEntry = 1u << 20;
+
+void WriteU8(std::ostream& os, uint8_t v) { os.put(static_cast<char>(v)); }
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  for (int i = 0; i < 4; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  for (int i = 0; i < 8; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void WriteStr(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteDouble(std::ostream& os, double d) {
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  WriteU64(os, bits);
+}
+
+void WriteAttrs(std::ostream& os, const AttributeSet& attrs) {
+  WriteU8(os, static_cast<uint8_t>(attrs.Count()));
+  attrs.ForEach([&](int a) { WriteU8(os, static_cast<uint8_t>(a)); });
+}
+
+bool ReadU8(std::istream& is, uint8_t* v) {
+  int c = is.get();
+  if (c == EOF) return false;
+  *v = static_cast<uint8_t>(c);
+  return true;
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b;
+    if (!ReadU8(is, &b)) return false;
+    *v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  return true;
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t b;
+    if (!ReadU8(is, &b)) return false;
+    *v |= static_cast<uint64_t>(b) << (8 * i);
+  }
+  return true;
+}
+
+bool ReadStr(std::istream& is, std::string* s) {
+  uint32_t len;
+  if (!ReadU32(is, &len)) return false;
+  if (len > (1u << 20)) return false;  // refuse absurd name lengths
+  s->resize(len);
+  is.read(s->data(), len);
+  return static_cast<uint32_t>(is.gcount()) == len;
+}
+
+bool ReadDouble(std::istream& is, double* d) {
+  uint64_t bits;
+  if (!ReadU64(is, &bits)) return false;
+  __builtin_memcpy(d, &bits, sizeof(*d));
+  return true;
+}
+
+// Attribute lists are stored canonically: strictly ascending positions,
+// each below the entry's column count. Anything else is corruption.
+bool ReadAttrs(std::istream& is, int num_columns, AttributeSet* attrs) {
+  uint8_t count;
+  if (!ReadU8(is, &count)) return false;
+  *attrs = AttributeSet();
+  int prev = -1;
+  for (int i = 0; i < count; ++i) {
+    uint8_t a;
+    if (!ReadU8(is, &a)) return false;
+    if (a >= num_columns || static_cast<int>(a) <= prev) return false;
+    attrs->Set(a);
+    prev = a;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  std::lock_guard<std::mutex> lock(catalog.mu_);
+  os.write(kMagic, 4);
+  WriteU32(os, kFormatVersion);
+  WriteU64(os, static_cast<uint64_t>(catalog.entries_.size()));
+  for (const auto& [fp, entry] : catalog.entries_) {
+    WriteU64(os, fp);
+    WriteStr(os, entry.table_name);
+    WriteU32(os, static_cast<uint32_t>(entry.num_columns));
+    uint8_t flags = 0;
+    if (entry.result.no_keys) flags |= 1;
+    if (entry.result.sampled) flags |= 2;
+    WriteU8(os, flags);
+    WriteU64(os, static_cast<uint64_t>(entry.result.stats.rows_processed));
+    WriteU32(os, static_cast<uint32_t>(entry.result.keys.size()));
+    for (const DiscoveredKey& k : entry.result.keys) {
+      WriteAttrs(os, k.attrs);
+      WriteDouble(os, k.estimated_strength);
+      WriteDouble(os, k.exact_strength);
+    }
+    WriteU32(os, static_cast<uint32_t>(entry.result.non_keys.size()));
+    for (const AttributeSet& nk : entry.result.non_keys) WriteAttrs(os, nk);
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadCatalogFile(const std::string& path, KeyCatalog* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (is.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a gordian catalog file: " + path);
+  }
+  uint32_t version;
+  if (!ReadU32(is, &version) || version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported catalog format version");
+  }
+  uint64_t num_entries;
+  if (!ReadU64(is, &num_entries)) {
+    return Status::InvalidArgument("truncated catalog header");
+  }
+  if (num_entries > kMaxEntries) {
+    return Status::InvalidArgument("implausible catalog entry count");
+  }
+
+  KeyCatalog loaded;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    CatalogEntry entry;
+    uint32_t num_columns;
+    uint8_t flags;
+    uint64_t rows;
+    if (!ReadU64(is, &entry.fingerprint) ||
+        !ReadStr(is, &entry.table_name) || !ReadU32(is, &num_columns) ||
+        !ReadU8(is, &flags) || !ReadU64(is, &rows)) {
+      return Status::InvalidArgument("truncated catalog entry");
+    }
+    if (flags > 3) return Status::InvalidArgument("corrupt entry flags");
+    if (num_columns > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
+      return Status::InvalidArgument("too many columns in catalog entry");
+    }
+    if (rows > (uint64_t{1} << 40)) {
+      return Status::InvalidArgument("implausible row count");
+    }
+    entry.num_columns = static_cast<int>(num_columns);
+    entry.result.no_keys = (flags & 1) != 0;
+    entry.result.sampled = (flags & 2) != 0;
+    entry.result.stats.rows_processed = static_cast<int64_t>(rows);
+    entry.result.stats.num_attributes = entry.num_columns;
+
+    uint32_t num_keys;
+    if (!ReadU32(is, &num_keys) || num_keys > kMaxSetsPerEntry) {
+      return Status::InvalidArgument("corrupt key count");
+    }
+    entry.result.keys.resize(num_keys);
+    for (uint32_t k = 0; k < num_keys; ++k) {
+      DiscoveredKey& key = entry.result.keys[k];
+      if (!ReadAttrs(is, entry.num_columns, &key.attrs) ||
+          !ReadDouble(is, &key.estimated_strength) ||
+          !ReadDouble(is, &key.exact_strength)) {
+        return Status::InvalidArgument("corrupt key record");
+      }
+    }
+    uint32_t num_non_keys;
+    if (!ReadU32(is, &num_non_keys) || num_non_keys > kMaxSetsPerEntry) {
+      return Status::InvalidArgument("corrupt non-key count");
+    }
+    entry.result.non_keys.resize(num_non_keys);
+    for (uint32_t k = 0; k < num_non_keys; ++k) {
+      if (!ReadAttrs(is, entry.num_columns, &entry.result.non_keys[k])) {
+        return Status::InvalidArgument("corrupt non-key record");
+      }
+    }
+    uint64_t fp = entry.fingerprint;
+    std::string name = entry.table_name;
+    int cols = entry.num_columns;
+    if (!loaded.Put(fp, name, cols, entry.result)) {
+      return Status::InvalidArgument("corrupt catalog entry");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(out->mu_);
+  out->entries_ = std::move(loaded.entries_);
+  return Status::OK();
+}
+
+}  // namespace gordian

@@ -1,0 +1,89 @@
+#ifndef GORDIAN_SERVICE_KEY_CATALOG_H_
+#define GORDIAN_SERVICE_KEY_CATALOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gordian.h"
+
+namespace gordian {
+
+// One cached discovery result, keyed by the table's content fingerprint
+// (TableFingerprint in table/fingerprint.h).
+struct CatalogEntry {
+  uint64_t fingerprint = 0;
+  std::string table_name;  // informational: name at first profiling
+  int num_columns = 0;
+  KeyDiscoveryResult result;
+};
+
+// Thread-safe cache of discovery results keyed by table fingerprint. The
+// profiling service consults it before scheduling discovery: an unchanged
+// table (same fingerprint) is a cache hit and skips the run entirely.
+//
+// Only complete results are admitted — an incomplete result (budget trip or
+// cancellation) certifies nothing and would poison the cache, so Put
+// rejects it. Lookups copy the entry out; the catalog never hands out
+// references into its own storage, so readers and writers cannot alias.
+class KeyCatalog {
+ public:
+  KeyCatalog() = default;
+
+  // Catalogs are plumbed by pointer (services, advisor); copying one would
+  // fork the cache silently, so it is non-copyable by design.
+  KeyCatalog(const KeyCatalog&) = delete;
+  KeyCatalog& operator=(const KeyCatalog&) = delete;
+
+  // Stores `result` for `fingerprint`, replacing any previous entry.
+  // Returns false (and stores nothing) for incomplete results.
+  bool Put(uint64_t fingerprint, const std::string& table_name,
+           int num_columns, const KeyDiscoveryResult& result);
+
+  // Copies the entry for `fingerprint` into *out (when non-null) and
+  // returns true, or returns false on a miss.
+  bool Lookup(uint64_t fingerprint, CatalogEntry* out) const;
+
+  bool Contains(uint64_t fingerprint) const;
+  bool Erase(uint64_t fingerprint);
+  void Clear();
+  int64_t size() const;
+
+  // All cached fingerprints, unordered.
+  std::vector<uint64_t> Fingerprints() const;
+
+ private:
+  friend Status WriteCatalogFile(const KeyCatalog& catalog,
+                                 const std::string& path);
+  friend Status ReadCatalogFile(const std::string& path, KeyCatalog* out);
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, CatalogEntry> entries_;
+};
+
+// Binary persistence, following the GRDT conventions of table/serialize.h:
+//
+//   magic "GRDC", format version (u32), entry count (u64),
+//   per entry: fingerprint (u64), table name (length-prefixed string),
+//   column count (u32), flags (u8: no_keys | sampled<<1),
+//   rows processed (u64),
+//   keys (u32 count; per key: attribute list as u8 count + ascending u8
+//   positions, then estimated/exact strength as IEEE754 bit patterns),
+//   non-keys (u32 count; per non-key: attribute list).
+//
+// Loading validates the magic, version, counts, attribute ordering and
+// range, and truncation, returning InvalidArgument rather than crashing on
+// corrupt input (the catalog fuzz tests exercise this).
+
+// Writes the whole catalog to `path`, overwriting it.
+Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path);
+
+// Replaces *out's contents with the catalog stored at `path`.
+Status ReadCatalogFile(const std::string& path, KeyCatalog* out);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_KEY_CATALOG_H_

@@ -1,0 +1,36 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace gordian {
+
+std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
+  char buf[256];
+  std::string out = "profiling service metrics:\n";
+  auto line = [&](const char* name, int64_t v) {
+    std::snprintf(buf, sizeof(buf), "  %-18s %lld\n", name,
+                  static_cast<long long>(v));
+    out += buf;
+  };
+  line("jobs submitted", s.jobs_submitted);
+  line("jobs completed", s.jobs_completed);
+  line("jobs cancelled", s.jobs_cancelled);
+  line("jobs failed", s.jobs_failed);
+  line("cache hits", s.cache_hits);
+  line("cache misses", s.cache_misses);
+  line("coalesced jobs", s.coalesced_jobs);
+  line("queue depth", s.queue_depth);
+  line("running jobs", s.running_jobs);
+  std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "cache hit rate",
+                s.cache_hit_rate() * 100);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "mean latency",
+                s.mean_latency_seconds() * 1e3);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "max latency",
+                s.max_latency_seconds * 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace gordian

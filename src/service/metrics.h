@@ -1,0 +1,100 @@
+#ifndef GORDIAN_SERVICE_METRICS_H_
+#define GORDIAN_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gordian {
+
+// Monotonic counters for the profiling service, updated with relaxed
+// atomics from worker and client threads alike. `Snapshot()` reads a
+// consistent-enough picture for reporting; individual counters are exact,
+// cross-counter invariants (submitted == completed + ...) only settle once
+// the service is idle.
+class ServiceMetrics {
+ public:
+  void OnSubmitted() { jobs_submitted_.fetch_add(1, kRelaxed); }
+  void OnCompleted() { jobs_completed_.fetch_add(1, kRelaxed); }
+  void OnCancelled() { jobs_cancelled_.fetch_add(1, kRelaxed); }
+  void OnFailed() { jobs_failed_.fetch_add(1, kRelaxed); }
+  void OnCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+  void OnCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+  void OnCoalesced() { coalesced_jobs_.fetch_add(1, kRelaxed); }
+
+  void OnJobFinished(double latency_seconds) {
+    int64_t micros = static_cast<int64_t>(latency_seconds * 1e6);
+    total_latency_micros_.fetch_add(micros, kRelaxed);
+    int64_t prev = max_latency_micros_.load(kRelaxed);
+    while (micros > prev &&
+           !max_latency_micros_.compare_exchange_weak(prev, micros, kRelaxed)) {
+    }
+  }
+
+  // Point-in-time view of all counters plus derived figures.
+  struct Snapshot {
+    int64_t jobs_submitted = 0;
+    int64_t jobs_completed = 0;
+    int64_t jobs_cancelled = 0;
+    int64_t jobs_failed = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t coalesced_jobs = 0;
+    int64_t queue_depth = 0;    // filled in by the service, not a counter
+    int64_t running_jobs = 0;   // likewise
+    double total_latency_seconds = 0;
+    double max_latency_seconds = 0;
+
+    int64_t finished() const {
+      return jobs_completed + jobs_cancelled + jobs_failed;
+    }
+    double mean_latency_seconds() const {
+      int64_t n = finished();
+      return n == 0 ? 0 : total_latency_seconds / static_cast<double>(n);
+    }
+    double cache_hit_rate() const {
+      int64_t lookups = cache_hits + cache_misses;
+      return lookups == 0
+                 ? 0
+                 : static_cast<double>(cache_hits) /
+                       static_cast<double>(lookups);
+    }
+  };
+
+  Snapshot Read() const {
+    Snapshot s;
+    s.jobs_submitted = jobs_submitted_.load(kRelaxed);
+    s.jobs_completed = jobs_completed_.load(kRelaxed);
+    s.jobs_cancelled = jobs_cancelled_.load(kRelaxed);
+    s.jobs_failed = jobs_failed_.load(kRelaxed);
+    s.cache_hits = cache_hits_.load(kRelaxed);
+    s.cache_misses = cache_misses_.load(kRelaxed);
+    s.coalesced_jobs = coalesced_jobs_.load(kRelaxed);
+    s.total_latency_seconds =
+        static_cast<double>(total_latency_micros_.load(kRelaxed)) * 1e-6;
+    s.max_latency_seconds =
+        static_cast<double>(max_latency_micros_.load(kRelaxed)) * 1e-6;
+    return s;
+  }
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<int64_t> jobs_submitted_{0};
+  std::atomic<int64_t> jobs_completed_{0};
+  std::atomic<int64_t> jobs_cancelled_{0};
+  std::atomic<int64_t> jobs_failed_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> coalesced_jobs_{0};
+  std::atomic<int64_t> total_latency_micros_{0};
+  std::atomic<int64_t> max_latency_micros_{0};
+};
+
+// Multi-line human-readable rendering in the style of the report module's
+// text outputs; ends with a newline.
+std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_METRICS_H_

@@ -1,0 +1,221 @@
+#include "service/profiling_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gordian {
+
+ProfilingService::ProfilingService(ServiceOptions options)
+    : owned_catalog_(options.catalog == nullptr ? new KeyCatalog() : nullptr),
+      catalog_(options.catalog == nullptr ? owned_catalog_.get()
+                                          : options.catalog),
+      scheduler_(options.num_threads) {}
+
+ProfilingService::~ProfilingService() = default;
+
+GordianOptions ProfilingService::EffectiveOptions(
+    const ProfileJobOptions& options, const JobContext& ctx) {
+  GordianOptions g = options.gordian;
+  g.cancel_flag = ctx.cancel_flag;
+  if (options.timeout_seconds > 0) {
+    g.time_budget_seconds =
+        g.time_budget_seconds > 0
+            ? std::min(g.time_budget_seconds, options.timeout_seconds)
+            : options.timeout_seconds;
+  }
+  return g;
+}
+
+JobId ProfilingService::SubmitTable(const std::string& name,
+                                    const Table* table,
+                                    const ProfileJobOptions& options) {
+  metrics_.OnSubmitted();
+  auto rec = std::make_shared<Record>();
+  rec->name = name;
+  rec->table = table;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(table);
+    if (it != inflight_.end()) {
+      // Coalesce onto a live job for the same table; a stale entry (its job
+      // already terminal) is dropped and this submission runs fresh.
+      if (!IsTerminal(scheduler_.Poll(it->second).state)) {
+        rec->alias_of = it->second;
+        JobId id = next_alias_id_--;
+        records_.emplace(id, std::move(rec));
+        metrics_.OnCoalesced();
+        return id;
+      }
+      inflight_.erase(it);
+    }
+  }
+
+  Stopwatch submit_watch;
+  JobId id = scheduler_.Submit(
+      [this, rec, options, submit_watch](const JobContext& ctx) {
+        try {
+          RunTableJob(rec.get(), options, ctx);
+        } catch (...) {
+          metrics_.OnFailed();
+          metrics_.OnJobFinished(submit_watch.ElapsedSeconds());
+          throw;  // the scheduler records the message and marks kFailed
+        }
+        if (ctx.Cancelled()) {
+          metrics_.OnCancelled();
+        } else {
+          metrics_.OnCompleted();
+        }
+        metrics_.OnJobFinished(submit_watch.ElapsedSeconds());
+      },
+      options.priority);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.emplace(id, rec);
+    // The job may already have finished on a fast worker; registering it
+    // anyway is harmless because lookups validate liveness (above).
+    inflight_[table] = id;
+  }
+  return id;
+}
+
+JobId ProfilingService::SubmitCsv(const std::string& name,
+                                  const std::string& path,
+                                  const CsvOptions& csv_options,
+                                  const ProfileJobOptions& options) {
+  metrics_.OnSubmitted();
+  auto rec = std::make_shared<Record>();
+  rec->name = name;
+
+  Stopwatch submit_watch;
+  JobId id = scheduler_.Submit(
+      [this, rec, path, csv_options, options,
+       submit_watch](const JobContext& ctx) {
+        try {
+          RunCsvJob(rec.get(), path, csv_options, options, ctx);
+        } catch (...) {
+          metrics_.OnFailed();
+          metrics_.OnJobFinished(submit_watch.ElapsedSeconds());
+          throw;
+        }
+        if (ctx.Cancelled()) {
+          metrics_.OnCancelled();
+        } else {
+          metrics_.OnCompleted();
+        }
+        metrics_.OnJobFinished(submit_watch.ElapsedSeconds());
+      },
+      options.priority);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.emplace(id, std::move(rec));
+  return id;
+}
+
+void ProfilingService::RunTableJob(Record* rec,
+                                   const ProfileJobOptions& options,
+                                   const JobContext& ctx) {
+  rec->started = true;
+  const Table& table = *rec->table;
+  rec->fingerprint = TableFingerprint(table);
+  if (options.use_catalog) {
+    CatalogEntry entry;
+    if (catalog_->Lookup(rec->fingerprint, &entry)) {
+      rec->cache_hit = true;
+      rec->result = std::move(entry.result);
+      metrics_.OnCacheHit();
+      return;
+    }
+    metrics_.OnCacheMiss();
+  }
+  rec->result = FindKeys(table, EffectiveOptions(options, ctx));
+  // Incomplete results (budget, timeout, cancellation) certify nothing and
+  // must not poison the catalog; Put would refuse them anyway.
+  if (options.use_catalog && !rec->result.incomplete) {
+    catalog_->Put(rec->fingerprint, rec->name, table.num_columns(),
+                  rec->result);
+  }
+}
+
+void ProfilingService::RunCsvJob(Record* rec, const std::string& path,
+                                 const CsvOptions& csv_options,
+                                 const ProfileJobOptions& options,
+                                 const JobContext& ctx) {
+  rec->started = true;
+  KeyDiscoveryResult result;
+  Status s =
+      ProfileCsvFile(path, csv_options, EffectiveOptions(options, ctx),
+                     &result);
+  if (!s.ok()) throw std::runtime_error(s.ToString());
+  rec->result = std::move(result);
+}
+
+bool ProfilingService::Cancel(JobId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(id);
+    if (it == records_.end() || it->second->alias_of != 0) return false;
+  }
+  bool before_running = false;
+  if (!scheduler_.Cancel(id, &before_running)) return false;
+  if (before_running) {
+    // The body never ran, so its completion hooks never will; account for
+    // the cancellation here.
+    metrics_.OnCancelled();
+    metrics_.OnJobFinished(scheduler_.Poll(id).latency_seconds);
+  }
+  return true;
+}
+
+JobInfo ProfilingService::Poll(JobId id) const {
+  JobId target = id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(id);
+    if (it == records_.end()) return JobInfo{};
+    if (it->second->alias_of != 0) target = it->second->alias_of;
+  }
+  return scheduler_.Poll(target);
+}
+
+ProfileOutcome ProfilingService::Wait(JobId id) {
+  std::shared_ptr<Record> rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(id);
+    if (it == records_.end()) return ProfileOutcome{};
+    rec = it->second;
+  }
+  if (rec->alias_of != 0) {
+    ProfileOutcome out = Wait(rec->alias_of);
+    out.coalesced = true;
+    out.table_name = rec->name;
+    return out;
+  }
+  ProfileOutcome out;
+  out.info = scheduler_.Wait(id);
+  out.cache_hit = rec->cache_hit;
+  out.fingerprint = rec->fingerprint;
+  out.table_name = rec->name;
+  out.result = rec->result;
+  if (out.info.state == JobState::kCancelled && !rec->started) {
+    // Cancelled while still queued: discovery never ran, so the default
+    // result must say so rather than masquerade as "no keys found".
+    out.result.incomplete = true;
+    out.result.incomplete_reason = AbortReason::kCancelled;
+  }
+  return out;
+}
+
+void ProfilingService::WaitAll() { scheduler_.WaitAll(); }
+
+ServiceMetrics::Snapshot ProfilingService::Metrics() const {
+  ServiceMetrics::Snapshot s = metrics_.Read();
+  s.queue_depth = scheduler_.queue_depth();
+  s.running_jobs = scheduler_.running_jobs();
+  return s;
+}
+
+}  // namespace gordian

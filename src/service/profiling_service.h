@@ -1,0 +1,162 @@
+#ifndef GORDIAN_SERVICE_PROFILING_SERVICE_H_
+#define GORDIAN_SERVICE_PROFILING_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/gordian.h"
+#include "core/streaming.h"
+#include "service/job_scheduler.h"
+#include "service/key_catalog.h"
+#include "service/metrics.h"
+#include "table/csv.h"
+#include "table/fingerprint.h"
+#include "table/table.h"
+
+namespace gordian {
+
+struct ServiceOptions {
+  // Worker threads; 0 means one per hardware thread.
+  int num_threads = 0;
+
+  // When non-null, the service reads and writes this shared catalog
+  // (which must outlive the service) instead of its own private one —
+  // e.g. a catalog preloaded with ReadCatalogFile.
+  KeyCatalog* catalog = nullptr;
+};
+
+// Per-job knobs for a profiling submission.
+struct ProfileJobOptions {
+  GordianOptions gordian;
+
+  // Larger runs earlier; FIFO among equals (JobScheduler semantics).
+  int priority = 0;
+
+  // Wall-clock cap on the job's discovery search. Folded into
+  // GordianOptions::time_budget_seconds (taking the smaller of the two);
+  // a job that trips it returns an incomplete result with reason
+  // kTimeBudget. 0 = no cap beyond what `gordian` already sets.
+  double timeout_seconds = 0;
+
+  // Consult the key catalog before running and store the (complete) result
+  // after. Off for callers that want a forced re-profile.
+  bool use_catalog = true;
+};
+
+// Everything known about a finished job. For coalesced submissions the
+// result/fingerprint are the primary job's.
+struct ProfileOutcome {
+  JobInfo info;             // info.valid == false iff the id is unknown
+  bool cache_hit = false;   // served from the catalog without discovery
+  bool coalesced = false;   // piggybacked on an identical in-flight job
+  uint64_t fingerprint = 0; // 0 for CSV jobs (streams are not fingerprinted)
+  std::string table_name;
+  KeyDiscoveryResult result;
+};
+
+// The concurrent profiling front-end: submit tables (or CSV files) for key
+// discovery, poll or wait for results, cancel what you no longer need. Jobs
+// run on a priority scheduler across a thread pool; results of complete
+// runs land in a fingerprint-keyed KeyCatalog so re-profiling an unchanged
+// table is a cache hit that skips discovery entirely.
+//
+// Concurrency notes:
+//  - Every public method is thread-safe.
+//  - A Table submitted by pointer must stay alive and unmodified until its
+//    job is terminal.
+//  - Submitting the same Table object while a job for it is in flight
+//    coalesces: the new JobId tracks the first job instead of scheduling a
+//    second discovery (and instead of racing on the table's lazy caches).
+//    Coalesced jobs cannot be cancelled independently of their primary.
+class ProfilingService {
+ public:
+  explicit ProfilingService(ServiceOptions options = {});
+  ~ProfilingService();
+
+  ProfilingService(const ProfilingService&) = delete;
+  ProfilingService& operator=(const ProfilingService&) = delete;
+
+  // Schedules key discovery over `*table`.
+  JobId SubmitTable(const std::string& name, const Table* table,
+                    const ProfileJobOptions& options = {});
+
+  // Schedules single-pass streaming discovery over a CSV file
+  // (StreamingProfiler under the hood; reservoir-sampled when
+  // options.gordian.sample_rows > 0). CSV jobs bypass the catalog: the
+  // stream's content is unknown until read. An unreadable or malformed
+  // file finishes as kFailed with the parser's message.
+  JobId SubmitCsv(const std::string& name, const std::string& path,
+                  const CsvOptions& csv_options,
+                  const ProfileJobOptions& options = {});
+
+  // Requests cancellation (JobScheduler semantics). Returns false for
+  // unknown, already-terminal, or coalesced jobs.
+  bool Cancel(JobId id);
+
+  // Non-blocking job state; for coalesced jobs, the primary's state.
+  JobInfo Poll(JobId id) const;
+
+  // Blocks until the job is terminal and returns the full outcome. The
+  // result is meaningful for kSucceeded jobs and carries the partial
+  // (incomplete) result for cancelled/timed-out discovery runs.
+  ProfileOutcome Wait(JobId id);
+
+  // Blocks until every accepted job is terminal.
+  void WaitAll();
+
+  // The catalog in use (the service's own, or ServiceOptions::catalog).
+  KeyCatalog& catalog() { return *catalog_; }
+
+  // Counter snapshot with live queue depth / running count filled in.
+  ServiceMetrics::Snapshot Metrics() const;
+
+  int num_threads() const { return scheduler_.num_threads(); }
+
+ private:
+  struct Record {
+    std::string name;
+    const Table* table = nullptr;  // table jobs only
+    JobId alias_of = 0;            // != 0 for coalesced submissions
+    // Written by the worker before the job turns terminal; read only
+    // through Wait (the scheduler's completion handshake orders the two).
+    bool started = false;  // body entered; false for cancelled-while-queued
+    uint64_t fingerprint = 0;
+    bool cache_hit = false;
+    KeyDiscoveryResult result;
+  };
+
+  void RunTableJob(Record* rec, const ProfileJobOptions& options,
+                   const JobContext& ctx);
+  void RunCsvJob(Record* rec, const std::string& path,
+                 const CsvOptions& csv_options,
+                 const ProfileJobOptions& options, const JobContext& ctx);
+  static GordianOptions EffectiveOptions(const ProfileJobOptions& options,
+                                         const JobContext& ctx);
+
+  std::unique_ptr<KeyCatalog> owned_catalog_;
+  KeyCatalog* catalog_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mu_;  // guards records_, inflight_, next_alias_id_
+  std::map<JobId, std::shared_ptr<Record>> records_;
+  // Table pointer -> primary job id, for coalescing. Entries are validated
+  // lazily at the next submission of the same table (a stale entry whose
+  // job is terminal is simply replaced), so no cleanup hook runs on the
+  // worker side.
+  std::unordered_map<const Table*, JobId> inflight_;
+  // Coalesced submissions get ids from a separate negative space so they
+  // can never collide with scheduler-issued ids.
+  JobId next_alias_id_ = -1;
+
+  // Declared last: its destructor drains all jobs, whose bodies touch the
+  // members above.
+  JobScheduler scheduler_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_PROFILING_SERVICE_H_

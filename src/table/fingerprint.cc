@@ -1,0 +1,28 @@
+#include "table/fingerprint.h"
+
+#include "common/hashing.h"
+
+namespace gordian {
+
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t h = 0x474f5244u;  // "GORD"
+  h = HashCombine(h, static_cast<uint64_t>(table.num_columns()));
+  h = HashCombine(h, static_cast<uint64_t>(table.num_rows()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    h = HashCombine(h, HashBytes(table.schema().name(c)));
+    const Dictionary& dict = table.dictionary(c);
+    h = HashCombine(h, dict.size());
+    // Dictionary values in code order pin the meaning of every code; the
+    // code vector then pins the actual cell contents. Hashing the values
+    // once here (instead of per cell) keeps the pass O(rows) per column.
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      h = HashCombine(h, dict.Decode(code).Hash());
+    }
+    for (uint32_t code : table.column_codes(c)) {
+      h = HashCombine(h, code);
+    }
+  }
+  return h;
+}
+
+}  // namespace gordian

@@ -1,0 +1,28 @@
+#ifndef GORDIAN_TABLE_FINGERPRINT_H_
+#define GORDIAN_TABLE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "table/table.h"
+
+namespace gordian {
+
+// 64-bit content fingerprint of a table: column names, per-column
+// dictionaries (values in code order), and the code vectors. Everything the
+// profiling algorithms can observe feeds the hash, and nothing else — no
+// pointers, no capacities — so the fingerprint is stable across processes
+// and across save/load through WriteTableFile/ReadTableFile or CSV
+// round-trips that reproduce the same first-seen value order.
+//
+// Two tables with the same schema and the same rows in the same order have
+// the same fingerprint; changing any name, value, or row (or reordering
+// rows) perturbs it. The key catalog uses this as its cache key: a matching
+// fingerprint means the stored discovery result is valid for the table.
+//
+// Cost is one pass over the codes, O(rows x columns) with a trivial
+// constant — orders of magnitude cheaper than discovery itself.
+uint64_t TableFingerprint(const Table& table);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_FINGERPRINT_H_

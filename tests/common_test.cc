@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -139,6 +140,27 @@ TEST(MemoryTracker, TracksCurrentAndPeak) {
   t.Reset();
   EXPECT_EQ(t.current_bytes(), 0);
   EXPECT_EQ(t.peak_bytes(), 0);
+}
+
+TEST(MemoryTracker, ConcurrentAddReleaseBalancesAndBoundsPeak) {
+  // Several threads each add then release the same total; the final current
+  // count must be exactly zero and the peak must be at least one thread's
+  // worth (it held that much on its own) and at most the combined worth.
+  MemoryTracker t;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  constexpr int64_t kBytes = 64;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&t] {
+      for (int j = 0; j < kIters; ++j) t.Add(kBytes);
+      for (int j = 0; j < kIters; ++j) t.Release(kBytes);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_GE(t.peak_bytes(), kIters * kBytes);
+  EXPECT_LE(t.peak_bytes(), int64_t{kThreads} * kIters * kBytes);
 }
 
 TEST(Status, OkAndErrors) {

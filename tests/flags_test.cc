@@ -52,6 +52,15 @@ TEST(Flags, DefaultsForMissingFlags) {
   EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos1", "pos2"}));
 }
 
+TEST(Flags, ThreadCountConvention) {
+  // Explicit positive values pass through; absent or zero means one worker
+  // per hardware thread, never fewer than one.
+  EXPECT_EQ(Parse({"--threads=3"}).ThreadCount(), 3);
+  EXPECT_EQ(Parse({"--workers=5"}).ThreadCount("workers"), 5);
+  EXPECT_GE(Parse({}).ThreadCount(), 1);
+  EXPECT_EQ(Parse({"--threads=0"}).ThreadCount(), Parse({}).ThreadCount());
+}
+
 TEST(Flags, PositionalAndFlagsInterleaved) {
   Flags f = Parse({"a.csv", "--sample=10", "b.csv"});
   EXPECT_EQ(f.GetInt("sample"), 10);

@@ -1,0 +1,268 @@
+// Tests for the table fingerprint and the key catalog's GRDC persistence:
+// fingerprint stability/sensitivity, round-trips, and hardening against
+// truncated or corrupted catalog files (parser-fuzz style).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/gordian.h"
+#include "datagen/synthetic.h"
+#include "service/key_catalog.h"
+#include "table/fingerprint.h"
+#include "table/serialize.h"
+#include "table/table.h"
+
+namespace gordian {
+namespace {
+
+Table MakeTable(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec = UniformSpec(5, rows, 32, 0.5, seed);
+  spec.columns[0].cardinality = 256;
+  spec.columns[2].cardinality = 64;
+  spec.planted_keys.push_back({0, 2});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "gordian_catalog_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A populated catalog with two entries, one of them sampled.
+void FillCatalog(KeyCatalog* catalog, Table* t1, Table* t2) {
+  *t1 = MakeTable(400, 11);
+  *t2 = MakeTable(700, 12);
+  ASSERT_TRUE(catalog->Put(TableFingerprint(*t1), "alpha", t1->num_columns(),
+                           FindKeys(*t1)));
+  GordianOptions sampled;
+  sampled.sample_rows = 200;
+  ASSERT_TRUE(catalog->Put(TableFingerprint(*t2), "beta", t2->num_columns(),
+                           FindKeys(*t2, sampled)));
+}
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(TableFingerprint, EqualContentGivesEqualFingerprint) {
+  Table a = MakeTable(500, 1);
+  Table b = MakeTable(500, 1);  // regenerated, same spec and seed
+  EXPECT_EQ(TableFingerprint(a), TableFingerprint(b));
+}
+
+TEST(TableFingerprint, AnyPerturbationChangesFingerprint) {
+  Table base = MakeTable(500, 2);
+  const uint64_t fp = TableFingerprint(base);
+  EXPECT_NE(fp, TableFingerprint(MakeTable(500, 3)));   // different data
+  EXPECT_NE(fp, TableFingerprint(MakeTable(501, 2)));   // one more row
+
+  // Same values, different column name.
+  std::vector<std::string> names;
+  for (int c = 0; c < base.num_columns(); ++c) {
+    names.push_back(base.schema().name(c));
+  }
+  names[1] += "_renamed";
+  TableBuilder renamed{Schema(names)};
+  for (int64_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < base.num_columns(); ++c) {
+      row.push_back(base.value(r, c));
+    }
+    renamed.AddRow(row);
+  }
+  EXPECT_NE(fp, TableFingerprint(renamed.Build()));
+}
+
+TEST(TableFingerprint, StableAcrossSerializeReload) {
+  Table t = MakeTable(600, 4);
+  std::string path = TempPath("table.grdt");
+  ASSERT_TRUE(WriteTableFile(t, path).ok());
+  Table reloaded;
+  ASSERT_TRUE(ReadTableFile(path, &reloaded).ok());
+  EXPECT_EQ(TableFingerprint(t), TableFingerprint(reloaded));
+}
+
+// -------------------------------------------------------------- KeyCatalog
+
+TEST(KeyCatalog, PutLookupEraseLifecycle) {
+  KeyCatalog catalog;
+  Table t = MakeTable(300, 5);
+  uint64_t fp = TableFingerprint(t);
+  KeyDiscoveryResult result = FindKeys(t);
+  EXPECT_FALSE(catalog.Contains(fp));
+  EXPECT_TRUE(catalog.Put(fp, "t", t.num_columns(), result));
+  EXPECT_EQ(catalog.size(), 1);
+
+  CatalogEntry entry;
+  ASSERT_TRUE(catalog.Lookup(fp, &entry));
+  EXPECT_EQ(entry.fingerprint, fp);
+  EXPECT_EQ(entry.table_name, "t");
+  EXPECT_EQ(entry.num_columns, t.num_columns());
+  EXPECT_EQ(entry.result.KeySets(), result.KeySets());
+
+  EXPECT_TRUE(catalog.Erase(fp));
+  EXPECT_FALSE(catalog.Erase(fp));
+  EXPECT_EQ(catalog.size(), 0);
+}
+
+TEST(KeyCatalog, RefusesIncompleteResults) {
+  KeyCatalog catalog;
+  KeyDiscoveryResult incomplete;
+  incomplete.incomplete = true;
+  incomplete.incomplete_reason = AbortReason::kTimeBudget;
+  EXPECT_FALSE(catalog.Put(1, "t", 3, incomplete));
+  EXPECT_EQ(catalog.size(), 0);
+}
+
+TEST(KeyCatalog, FileRoundTripPreservesEveryEntry) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("roundtrip.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+
+  KeyCatalog loaded;
+  // Pre-poison the target to prove Read replaces, not merges.
+  ASSERT_TRUE(loaded.Put(999, "junk", 2, KeyDiscoveryResult{}));
+  ASSERT_TRUE(ReadCatalogFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 2);
+  EXPECT_FALSE(loaded.Contains(999));
+
+  for (const Table* t : {&t1, &t2}) {
+    CatalogEntry original, reloaded;
+    ASSERT_TRUE(catalog.Lookup(TableFingerprint(*t), &original));
+    ASSERT_TRUE(loaded.Lookup(TableFingerprint(*t), &reloaded));
+    EXPECT_EQ(reloaded.table_name, original.table_name);
+    EXPECT_EQ(reloaded.num_columns, original.num_columns);
+    EXPECT_EQ(reloaded.result.no_keys, original.result.no_keys);
+    EXPECT_EQ(reloaded.result.sampled, original.result.sampled);
+    EXPECT_EQ(reloaded.result.stats.rows_processed,
+              original.result.stats.rows_processed);
+    EXPECT_EQ(reloaded.result.KeySets(), original.result.KeySets());
+    EXPECT_EQ(reloaded.result.non_keys, original.result.non_keys);
+    ASSERT_EQ(reloaded.result.keys.size(), original.result.keys.size());
+    for (size_t i = 0; i < reloaded.result.keys.size(); ++i) {
+      EXPECT_DOUBLE_EQ(reloaded.result.keys[i].estimated_strength,
+                       original.result.keys[i].estimated_strength);
+      EXPECT_DOUBLE_EQ(reloaded.result.keys[i].exact_strength,
+                       original.result.keys[i].exact_strength);
+    }
+  }
+}
+
+TEST(KeyCatalog, EmptyCatalogRoundTrips) {
+  KeyCatalog catalog;
+  std::string path = TempPath("empty.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+  KeyCatalog loaded;
+  ASSERT_TRUE(ReadCatalogFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0);
+}
+
+TEST(KeyCatalog, MissingFileIsIOError) {
+  KeyCatalog loaded;
+  Status s = ReadCatalogFile("/no/such/dir/c.grdc", &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+}
+
+TEST(KeyCatalog, BadMagicIsInvalidArgument) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("badmagic.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  KeyCatalog loaded;
+  Status s = ReadCatalogFile(path, &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(KeyCatalog, VersionMismatchIsInvalidArgument) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("badversion.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[4] = static_cast<char>(bytes[4] + 1);  // version u32 follows magic
+  WriteFileBytes(path, bytes);
+  KeyCatalog loaded;
+  Status s = ReadCatalogFile(path, &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("version"), std::string::npos);
+}
+
+TEST(KeyCatalog, TruncationAtEveryPrefixIsInvalidArgument) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("trunc.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  std::string cut_path = TempPath("trunc_cut.grdc");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(cut_path, bytes.substr(0, len));
+    KeyCatalog loaded;
+    Status s = ReadCatalogFile(cut_path, &loaded);
+    EXPECT_FALSE(s.ok()) << "prefix of length " << len << " loaded";
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument) << "length " << len;
+  }
+}
+
+TEST(KeyCatalog, RandomByteMutationsNeverCrash) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("mut.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  Random rng(601);
+  std::string mut_path = TempPath("mut_out.grdc");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Next() & 0xFF);
+    }
+    WriteFileBytes(mut_path, mutated);
+    KeyCatalog loaded;
+    Status s = ReadCatalogFile(mut_path, &loaded);
+    // Whatever loads must be structurally sane; most mutations must fail
+    // cleanly. Either way: no crash, no wild allocation.
+    if (s.ok()) {
+      for (uint64_t fp : loaded.Fingerprints()) {
+        CatalogEntry entry;
+        ASSERT_TRUE(loaded.Lookup(fp, &entry));
+        for (const DiscoveredKey& k : entry.result.keys) {
+          k.attrs.ForEach([&](int a) { EXPECT_LT(a, entry.num_columns); });
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,441 @@
+// Tests for the profiling service stack: ThreadPool, JobScheduler, and
+// ProfilingService (concurrent discovery, catalog caching, coalescing,
+// cancellation, timeouts, metrics).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gordian.h"
+#include "datagen/synthetic.h"
+#include "engine/advisor.h"
+#include "engine/row_store.h"
+#include "service/job_scheduler.h"
+#include "service/metrics.h"
+#include "service/profiling_service.h"
+#include "service/thread_pool.h"
+#include "table/fingerprint.h"
+
+namespace gordian {
+namespace {
+
+Table MakeTable(int64_t rows, uint64_t seed, int columns = 5) {
+  SyntheticSpec spec = UniformSpec(columns, rows, 32, 0.5, seed);
+  spec.columns[0].cardinality = 256;
+  spec.columns[2].cardinality = 64;
+  spec.planted_keys.push_back({0, 2});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+// A table whose discovery visits enough prefix-tree nodes to take real time
+// and to trip the amortized budget checks (which fire every 4096 visits):
+// many moderately low-cardinality uncorrelated columns maximize the
+// non-key search space.
+Table MakeExpensiveTable(uint64_t seed) {
+  SyntheticSpec spec = UniformSpec(14, 4000, 6, 0.0, seed);
+  spec.planted_keys.push_back({0, 1, 2, 3, 4, 5, 6, 7});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+void ExpectSameResult(const KeyDiscoveryResult& a,
+                      const KeyDiscoveryResult& b) {
+  EXPECT_EQ(a.no_keys, b.no_keys);
+  EXPECT_EQ(a.sampled, b.sampled);
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_EQ(a.keys[i].attrs, b.keys[i].attrs);
+    EXPECT_DOUBLE_EQ(a.keys[i].estimated_strength,
+                     b.keys[i].estimated_strength);
+    EXPECT_DOUBLE_EQ(a.keys[i].exact_strength, b.keys[i].exact_strength);
+  }
+  EXPECT_EQ(a.non_keys, b.non_keys);
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTaskAndDrainsOnDestroy) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destructor must finish all 200, started or not.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::promise<int> value;
+  pool.Submit([&value] { value.set_value(42); });
+  EXPECT_EQ(value.get_future().get(), 42);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      pool.Submit([&] { ran.fetch_add(1); });
+    });
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// ------------------------------------------------------------- JobScheduler
+
+// Holds the scheduler's single worker inside a job body until released,
+// making everything submitted meanwhile deterministically queued.
+class Gate {
+ public:
+  std::function<void(const JobContext&)> Body() {
+    return [this](const JobContext&) {
+      entered_.set_value();
+      released_.get_future().wait();
+    };
+  }
+  void AwaitEntered() { entered_.get_future().wait(); }
+  void Release() { released_.set_value(); }
+
+ private:
+  std::promise<void> entered_;
+  std::promise<void> released_;
+};
+
+TEST(JobScheduler, PriorityOrderWithFifoTiesOnOneWorker) {
+  JobScheduler scheduler(1);
+  Gate gate;
+  scheduler.Submit(gate.Body());
+  gate.AwaitEntered();
+
+  std::vector<char> order;
+  std::mutex order_mu;
+  auto record = [&](char tag) {
+    return [&order, &order_mu, tag](const JobContext&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+  scheduler.Submit(record('a'), /*priority=*/0);
+  scheduler.Submit(record('b'), /*priority=*/5);
+  scheduler.Submit(record('c'), /*priority=*/5);
+  scheduler.Submit(record('d'), /*priority=*/1);
+  gate.Release();
+  scheduler.WaitAll();
+  EXPECT_EQ(order, (std::vector<char>{'b', 'c', 'd', 'a'}));
+}
+
+TEST(JobScheduler, CancelQueuedJobNeverRuns) {
+  JobScheduler scheduler(1);
+  Gate gate;
+  scheduler.Submit(gate.Body());
+  gate.AwaitEntered();
+
+  std::atomic<bool> ran{false};
+  JobId id = scheduler.Submit([&ran](const JobContext&) { ran = true; });
+  EXPECT_EQ(scheduler.queue_depth(), 1);
+  bool before_running = false;
+  EXPECT_TRUE(scheduler.Cancel(id, &before_running));
+  EXPECT_TRUE(before_running);
+  JobInfo info = scheduler.Wait(id);
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_TRUE(info.cancel_requested);
+  gate.Release();
+  scheduler.WaitAll();
+  EXPECT_FALSE(ran.load());
+  // Cancelling a terminal job is a no-op.
+  EXPECT_FALSE(scheduler.Cancel(id));
+}
+
+TEST(JobScheduler, CancelRunningJobUnwindsCooperatively) {
+  JobScheduler scheduler(1);
+  std::promise<void> entered;
+  JobId id = scheduler.Submit([&entered](const JobContext& ctx) {
+    entered.set_value();
+    while (!ctx.Cancelled()) {
+      std::this_thread::yield();
+    }
+  });
+  entered.get_future().wait();
+  bool before_running = true;
+  EXPECT_TRUE(scheduler.Cancel(id, &before_running));
+  EXPECT_FALSE(before_running);
+  JobInfo info = scheduler.Wait(id);
+  EXPECT_EQ(info.state, JobState::kCancelled);
+  EXPECT_GT(info.latency_seconds, 0.0);
+}
+
+TEST(JobScheduler, ThrowingBodyBecomesFailedJob) {
+  JobScheduler scheduler(2);
+  JobId id = scheduler.Submit([](const JobContext&) {
+    throw std::runtime_error("boom");
+  });
+  JobInfo info = scheduler.Wait(id);
+  EXPECT_EQ(info.state, JobState::kFailed);
+  EXPECT_EQ(info.error, "boom");
+}
+
+TEST(JobScheduler, PollWaitAndForgetLifecycle) {
+  JobScheduler scheduler(1);
+  EXPECT_FALSE(scheduler.Poll(999).valid);
+  EXPECT_FALSE(scheduler.Wait(999).valid);
+  EXPECT_FALSE(scheduler.Forget(999));
+
+  JobId id = scheduler.Submit([](const JobContext&) {});
+  JobInfo info = scheduler.Wait(id);
+  EXPECT_TRUE(info.valid);
+  EXPECT_EQ(info.state, JobState::kSucceeded);
+  EXPECT_TRUE(scheduler.Poll(id).valid);
+  EXPECT_TRUE(scheduler.Forget(id));
+  EXPECT_FALSE(scheduler.Poll(id).valid);
+  EXPECT_FALSE(scheduler.Forget(id));
+}
+
+// --------------------------------------------------------- ProfilingService
+
+TEST(ProfilingService, ConcurrentJobsMatchSequentialDiscovery) {
+  constexpr int kTables = 5;
+  std::vector<Table> tables;
+  for (int i = 0; i < kTables; ++i) {
+    tables.push_back(MakeTable(600 + 50 * i, 100 + i));
+  }
+
+  std::vector<KeyDiscoveryResult> sequential;
+  for (const Table& t : tables) sequential.push_back(FindKeys(t));
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  ProfilingService service(options);
+  std::vector<JobId> ids;
+  for (int i = 0; i < kTables; ++i) {
+    ids.push_back(
+        service.SubmitTable("t" + std::to_string(i), &tables[i]));
+  }
+  for (int i = 0; i < kTables; ++i) {
+    ProfileOutcome out = service.Wait(ids[i]);
+    EXPECT_EQ(out.info.state, JobState::kSucceeded);
+    EXPECT_FALSE(out.cache_hit);
+    EXPECT_EQ(out.table_name, "t" + std::to_string(i));
+    EXPECT_EQ(out.fingerprint, TableFingerprint(tables[i]));
+    ExpectSameResult(out.result, sequential[i]);
+  }
+  ServiceMetrics::Snapshot m = service.Metrics();
+  EXPECT_EQ(m.jobs_submitted, kTables);
+  EXPECT_EQ(m.jobs_completed, kTables);
+  EXPECT_EQ(m.cache_misses, kTables);
+  EXPECT_EQ(m.cache_hits, 0);
+}
+
+TEST(ProfilingService, SecondSubmissionOfUnchangedTableIsCacheHit) {
+  Table t = MakeTable(800, 7);
+  ProfilingService service;
+  ProfileOutcome cold = service.Wait(service.SubmitTable("orders", &t));
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(service.catalog().Contains(cold.fingerprint));
+
+  ProfileOutcome warm = service.Wait(service.SubmitTable("orders", &t));
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  ExpectSameResult(warm.result, cold.result);
+
+  // An identical copy of the table (distinct object, same content) also
+  // hits: the fingerprint keys on content, not identity.
+  Table copy = MakeTable(800, 7);
+  ProfileOutcome alias = service.Wait(service.SubmitTable("orders2", &copy));
+  EXPECT_TRUE(alias.cache_hit);
+
+  ServiceMetrics::Snapshot m = service.Metrics();
+  EXPECT_EQ(m.cache_hits, 2);
+  EXPECT_EQ(m.cache_misses, 1);
+
+  // use_catalog = false forces a re-profile.
+  ProfileJobOptions no_cache;
+  no_cache.use_catalog = false;
+  ProfileOutcome forced =
+      service.Wait(service.SubmitTable("orders", &t, no_cache));
+  EXPECT_FALSE(forced.cache_hit);
+  ExpectSameResult(forced.result, cold.result);
+}
+
+TEST(ProfilingService, SameTableObjectInFlightCoalesces) {
+  // One worker: the blocker occupies it, so the two submissions for `t`
+  // are deterministically still queued/running when the third arrives.
+  Table blocker = MakeTable(2000, 40);
+  Table t = MakeTable(2000, 41);
+  ServiceOptions options;
+  options.num_threads = 1;
+  ProfilingService service(options);
+  JobId b = service.SubmitTable("blocker", &blocker);
+  JobId first = service.SubmitTable("t", &t);
+  JobId second = service.SubmitTable("t-again", &t);
+  EXPECT_GT(first, 0);
+  EXPECT_LT(second, 0);  // alias ids live in the negative space
+  EXPECT_FALSE(service.Cancel(second));  // aliases cannot be cancelled
+
+  ProfileOutcome a = service.Wait(first);
+  ProfileOutcome c = service.Wait(second);
+  EXPECT_TRUE(c.coalesced);
+  EXPECT_FALSE(a.coalesced);
+  EXPECT_EQ(c.table_name, "t-again");
+  EXPECT_EQ(c.fingerprint, a.fingerprint);
+  ExpectSameResult(c.result, a.result);
+  service.Wait(b);
+
+  ServiceMetrics::Snapshot m = service.Metrics();
+  EXPECT_EQ(m.coalesced_jobs, 1);
+  EXPECT_EQ(m.jobs_submitted, 3);
+  // Only two discoveries actually ran.
+  EXPECT_EQ(m.jobs_completed, 2);
+}
+
+TEST(ProfilingService, CancelQueuedJobReturnsIncompleteAndLeavesNoTrace) {
+  Table blocker = MakeTable(2000, 50);
+  Table t = MakeTable(500, 51);
+  ServiceOptions options;
+  options.num_threads = 1;
+  ProfilingService service(options);
+  JobId b = service.SubmitTable("blocker", &blocker);
+  JobId id = service.SubmitTable("victim", &t);
+  EXPECT_TRUE(service.Cancel(id));
+  ProfileOutcome out = service.Wait(id);
+  EXPECT_EQ(out.info.state, JobState::kCancelled);
+  EXPECT_TRUE(out.result.incomplete);
+  EXPECT_EQ(out.result.incomplete_reason, AbortReason::kCancelled);
+  EXPECT_TRUE(out.result.keys.empty());
+  service.Wait(b);
+  service.WaitAll();
+  // The victim never ran, so only the blocker's entry is in the catalog.
+  EXPECT_EQ(service.catalog().size(), 1);
+  EXPECT_FALSE(service.catalog().Contains(TableFingerprint(t)));
+  EXPECT_EQ(service.Metrics().jobs_cancelled, 1);
+}
+
+TEST(ProfilingService, CancelMidDiscoveryReturnsIncompleteResult) {
+  Table t = MakeExpensiveTable(60);
+  ProfilingService service;
+  JobId id = service.SubmitTable("big", &t);
+  // Wait for the body to actually start before cancelling.
+  while (service.Poll(id).state == JobState::kQueued) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(service.Cancel(id));
+  ProfileOutcome out = service.Wait(id);
+  ASSERT_EQ(out.info.state, JobState::kCancelled);
+  EXPECT_TRUE(out.result.incomplete);
+  EXPECT_EQ(out.result.incomplete_reason, AbortReason::kCancelled);
+  EXPECT_TRUE(out.result.keys.empty());
+  // An aborted run must not be cached.
+  EXPECT_EQ(service.catalog().size(), 0);
+}
+
+TEST(ProfilingService, TimeoutProducesIncompleteUncachedResult) {
+  Table t = MakeExpensiveTable(61);
+  ProfilingService service;
+  ProfileJobOptions job;
+  job.timeout_seconds = 1e-4;
+  ProfileOutcome out = service.Wait(service.SubmitTable("slow", &t, job));
+  EXPECT_EQ(out.info.state, JobState::kSucceeded);  // ran to (early) return
+  EXPECT_TRUE(out.result.incomplete);
+  EXPECT_EQ(out.result.incomplete_reason, AbortReason::kTimeBudget);
+  EXPECT_TRUE(out.result.keys.empty());
+  EXPECT_EQ(service.catalog().size(), 0);
+
+  // The same submission without the timeout completes and is cached.
+  ProfileOutcome full = service.Wait(service.SubmitTable("slow", &t));
+  EXPECT_FALSE(full.result.incomplete);
+  EXPECT_TRUE(service.catalog().Contains(full.fingerprint));
+}
+
+TEST(ProfilingService, SharedCatalogServesAcrossServices) {
+  Table t = MakeTable(700, 70);
+  KeyCatalog catalog;
+  ServiceOptions options;
+  options.catalog = &catalog;
+  ProfileOutcome cold;
+  {
+    ProfilingService first(options);
+    cold = first.Wait(first.SubmitTable("t", &t));
+    EXPECT_FALSE(cold.cache_hit);
+  }
+  ProfilingService second(options);
+  ProfileOutcome warm = second.Wait(second.SubmitTable("t", &t));
+  EXPECT_TRUE(warm.cache_hit);
+  ExpectSameResult(warm.result, cold.result);
+}
+
+TEST(ProfilingService, UnknownJobIdsAreRejected) {
+  ProfilingService service;
+  EXPECT_FALSE(service.Poll(12345).valid);
+  EXPECT_FALSE(service.Wait(12345).info.valid);
+  EXPECT_FALSE(service.Cancel(12345));
+}
+
+TEST(ProfilingService, CsvJobFailureCarriesParserError) {
+  ProfilingService service;
+  JobId id = service.SubmitCsv("missing", "/no/such/file.csv", CsvOptions{});
+  ProfileOutcome out = service.Wait(id);
+  EXPECT_EQ(out.info.state, JobState::kFailed);
+  EXPECT_NE(out.info.error.find("/no/such/file.csv"), std::string::npos);
+  EXPECT_EQ(service.Metrics().jobs_failed, 1);
+}
+
+// --------------------------------------------------- advisor + metrics glue
+
+TEST(Advisor, CatalogBackedRecommendationSkipsRediscovery) {
+  Table t = MakeTable(600, 80);
+  RowStore store(t);
+  KeyCatalog catalog;
+  Planner first = BuildRecommendedIndexes(t, store, &catalog);
+  EXPECT_EQ(catalog.size(), 1);
+  ASSERT_FALSE(first.indexes().empty());
+
+  // Second call is served from the catalog and builds the same index set.
+  Planner second = BuildRecommendedIndexes(t, store, &catalog);
+  ASSERT_EQ(second.indexes().size(), first.indexes().size());
+  EXPECT_EQ(catalog.size(), 1);
+
+  // Matches the result-driven overload exactly.
+  Planner direct = BuildRecommendedIndexes(t, store, FindKeys(t));
+  EXPECT_EQ(direct.indexes().size(), first.indexes().size());
+}
+
+TEST(ServiceMetrics, FormatListsEveryCounter) {
+  ServiceMetrics metrics;
+  metrics.OnSubmitted();
+  metrics.OnCompleted();
+  metrics.OnCacheMiss();
+  metrics.OnJobFinished(0.25);
+  ServiceMetrics::Snapshot s = metrics.Read();
+  EXPECT_EQ(s.jobs_submitted, 1);
+  EXPECT_EQ(s.finished(), 1);
+  EXPECT_DOUBLE_EQ(s.mean_latency_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(s.max_latency_seconds, 0.25);
+  std::string text = FormatServiceMetrics(s);
+  for (const char* needle :
+       {"jobs submitted", "jobs completed", "jobs cancelled", "jobs failed",
+        "cache hits", "cache misses", "coalesced jobs", "queue depth",
+        "running jobs", "cache hit rate", "mean latency", "max latency"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace gordian

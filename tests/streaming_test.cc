@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/gordian.h"
 #include "datagen/synthetic.h"
@@ -56,6 +57,50 @@ TEST(StreamingProfiler, FinishResetsForReuse) {
   // Second run over the same stream gives the same keys.
   for (int64_t r = 0; r < t.num_rows(); ++r) profiler.AddRow(RowOf(t, r));
   EXPECT_EQ(Sorted(profiler.Finish().KeySets()), Sorted(first.KeySets()));
+}
+
+TEST(StreamingProfiler, ReusedReservoirProfilerMatchesFreshOne) {
+  // Finish() promises the profiler is "left empty and reusable": a second
+  // ingest/Finish cycle must behave exactly like a fresh profiler, which
+  // requires the reservoir PRNG to be re-seeded, not left mid-sequence.
+  Table t = MakeTable(3000, 31);
+  GordianOptions o;
+  o.sample_rows = 250;
+  o.sample_seed = 77;
+
+  StreamingProfiler reused(t.schema(), o);
+  for (int64_t r = 0; r < t.num_rows(); ++r) reused.AddRow(RowOf(t, r));
+  (void)reused.Finish();  // first cycle consumes PRNG draws
+  for (int64_t r = 0; r < t.num_rows(); ++r) reused.AddRow(RowOf(t, r));
+  KeyDiscoveryResult second = reused.Finish();
+
+  StreamingProfiler fresh(t.schema(), o);
+  for (int64_t r = 0; r < t.num_rows(); ++r) fresh.AddRow(RowOf(t, r));
+  KeyDiscoveryResult baseline = fresh.Finish();
+
+  // Identical seed + identical stream must select the identical reservoir,
+  // hence byte-identical key sets and strengths.
+  EXPECT_EQ(Sorted(second.KeySets()), Sorted(baseline.KeySets()));
+  ASSERT_EQ(second.keys.size(), baseline.keys.size());
+  for (size_t i = 0; i < second.keys.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.keys[i].estimated_strength,
+                     baseline.keys[i].estimated_strength);
+  }
+}
+
+TEST(ProfileCsvFile, CancelFlagAbortsIngest) {
+  Table t = MakeTable(10000, 32);
+  std::string path = ::testing::TempDir() + "gordian_stream_cancel.csv";
+  ASSERT_TRUE(WriteCsv(t, CsvOptions{}, path).ok());
+
+  std::atomic<bool> cancel{true};  // raised before the run even starts
+  GordianOptions o;
+  o.cancel_flag = &cancel;
+  KeyDiscoveryResult r;
+  ASSERT_TRUE(ProfileCsvFile(path, CsvOptions{}, o, &r).ok());
+  EXPECT_TRUE(r.incomplete);
+  EXPECT_EQ(r.incomplete_reason, AbortReason::kCancelled);
+  EXPECT_TRUE(r.keys.empty());
 }
 
 TEST(StreamingProfiler, ReservoirBoundsMemoryAndKeepsTrueKeys) {
