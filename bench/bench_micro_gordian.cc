@@ -1,14 +1,23 @@
 // google-benchmark micro suite: the hot operations of the GORDIAN core
 // (prefix-tree construction in both modes, node merging, NonKeySet
 // maintenance, attribute-set algebra, distinct counting) plus
-// attribute-ordering ablations of the full pipeline.
+// attribute-ordering ablations of the full pipeline and the parallel slice
+// traversal. Besides the usual benchmark output, main() writes a
+// machine-readable serial-vs-parallel summary to BENCH_kernel.json (path
+// overridable via GORDIAN_BENCH_JSON) for CI trend tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/attribute_set.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/gordian.h"
 #include "core/non_key_set.h"
 #include "core/prefix_tree.h"
@@ -163,7 +172,120 @@ BENCHMARK(BM_FindKeysOrdering)
     ->Arg(2)  // cardinality asc
     ->Arg(3);  // random
 
+// The parallel slice traversal at various worker counts; Arg(0) is the
+// serial baseline on the same table.
+void BM_FindKeysParallel(benchmark::State& state) {
+  Table& t = SharedTable(50000, 16);
+  GordianOptions o;
+  o.traversal_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    KeyDiscoveryResult r = FindKeys(t, o);
+    benchmark::DoNotOptimize(r.keys.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FindKeysParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// One timed FindKeys configuration for the JSON summary: best wall time of
+// `reps` runs plus the reported peak bytes of the last run.
+struct KernelSample {
+  double best_seconds = 0;
+  int64_t peak_bytes = 0;
+  int64_t threads_used = 0;
+  size_t num_keys = 0;
+};
+
+KernelSample MeasureFindKeys(const Table& t, int threads, int reps) {
+  KernelSample sample;
+  for (int i = 0; i < reps; ++i) {
+    GordianOptions o;
+    o.traversal_threads = threads;
+    Stopwatch watch;
+    KeyDiscoveryResult r = FindKeys(t, o);
+    const double secs = watch.ElapsedSeconds();
+    if (i == 0 || secs < sample.best_seconds) sample.best_seconds = secs;
+    sample.peak_bytes = r.stats.peak_memory_bytes;
+    sample.threads_used = r.stats.traversal_threads_used;
+    sample.num_keys = r.keys.size();
+  }
+  return sample;
+}
+
+// A table whose traversal work lives inside the top-level slices (moderate
+// cardinality everywhere), so the parallel fan-out has something to chew
+// on. OPIC-like data puts a near-unique column at the root under the
+// default ordering, which single-entity-prunes every slice and leaves only
+// the serial root merge — worth measuring too, as the parallel mode's
+// worst case.
+Table MakeSliceHeavyTable() {
+  SyntheticSpec spec = UniformSpec(8, 20000, 32, 0.3, 906);
+  spec.ensure_unique_rows = true;
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  if (!s.ok()) std::cerr << s.ToString() << "\n";
+  return t;
+}
+
+void WriteDatasetJson(std::ostream& os, const std::string& name,
+                      const Table& t, int reps) {
+  const KernelSample serial = MeasureFindKeys(t, 0, reps);
+  os << "    {\"name\": \"" << name << "\", \"rows\": " << t.num_rows()
+     << ", \"attributes\": " << t.num_columns() << ",\n"
+     << "     \"serial\": {\"wall_seconds\": " << serial.best_seconds
+     << ", \"peak_bytes\": " << serial.peak_bytes
+     << ", \"keys\": " << serial.num_keys << "},\n"
+     << "     \"parallel\": [\n";
+  const int thread_counts[] = {1, 2, 4, 8};
+  for (size_t i = 0; i < 4; ++i) {
+    const KernelSample p = MeasureFindKeys(t, thread_counts[i], reps);
+    os << "       {\"threads\": " << thread_counts[i]
+       << ", \"threads_used\": " << p.threads_used
+       << ", \"wall_seconds\": " << p.best_seconds
+       << ", \"peak_bytes\": " << p.peak_bytes
+       << ", \"keys\": " << p.num_keys
+       << ", \"speedup_vs_serial\": "
+       << (p.best_seconds > 0 ? serial.best_seconds / p.best_seconds : 0)
+       << "}" << (i + 1 < 4 ? "," : "") << "\n";
+  }
+  os << "     ]}";
+}
+
+// Serial-vs-parallel kernel summary, one JSON object per dataset and
+// configuration. Written after the google-benchmark run so CI can diff wall
+// time and peak bytes across commits without parsing human-oriented output.
+void WriteKernelJson() {
+  const char* env_path = std::getenv("GORDIAN_BENCH_JSON");
+  const std::string path =
+      (env_path != nullptr && *env_path != '\0') ? env_path
+                                                 : "BENCH_kernel.json";
+  constexpr int kReps = 3;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  Table slice_heavy = MakeSliceHeavyTable();
+  os << "{\n"
+     << "  \"benchmark\": \"gordian_kernel\",\n"
+     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "  \"reps\": " << kReps << ",\n"
+     << "  \"datasets\": [\n";
+  WriteDatasetJson(os, "uniform_20k_8attr_card32", slice_heavy, kReps);
+  os << ",\n";
+  WriteDatasetJson(os, "opic_50k_16attr", SharedTable(50000, 16), kReps);
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 }  // namespace gordian
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  gordian::WriteKernelJson();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/gordian.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "common/random.h"
@@ -8,12 +9,40 @@
 #include "core/key_conversion.h"
 #include "core/non_key_finder.h"
 #include "core/non_key_set.h"
+#include "core/parallel_finder.h"
 #include "core/prefix_tree.h"
 #include "core/strength.h"
 
 namespace gordian {
 
 namespace {
+
+// GORDIAN_THREADS engages the parallel traversal for callers that leave
+// GordianOptions::traversal_threads at 0 (CI runs the whole suite this way).
+// Read once: discovery may run on many threads and getenv is not reliably
+// safe against concurrent environment mutation.
+int EnvTraversalThreads() {
+  static const int cached = [] {
+    const char* s = std::getenv("GORDIAN_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    const int v = std::atoi(s);
+    return v > 0 ? v : 0;
+  }();
+  return cached;
+}
+
+// Both traversal modes report non-keys in this canonical order (cardinality,
+// then bitset order — the same ordering MinimizeSets uses for keys), making
+// reports byte-identical across serial and parallel runs: the discovered
+// antichain's *content* is mode-invariant, but its insertion order is not.
+void CanonicalizeNonKeys(std::vector<AttributeSet>* non_keys) {
+  std::sort(non_keys->begin(), non_keys->end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              const int ca = a.Count(), cb = b.Count();
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+}
 
 std::vector<int> ComputeAttributeOrder(const Table& table,
                                        const GordianOptions& options) {
@@ -147,17 +176,41 @@ KeyDiscoveryResult FindKeys(const Table& table, const GordianOptions& options) {
     return result;
   }
 
-  // Phase 2: discover all non-redundant non-keys (Algorithm 4).
+  // Phase 2: discover all non-redundant non-keys (Algorithm 4), serially or
+  // across worker threads (docs/parallel.md). The parallel path needs >= 2
+  // top-level slices to fan out; everything smaller (leaf root, single
+  // slice) is trivial and runs serially regardless.
   watch.Restart();
-  NonKeySet non_key_set(&result.stats);
-  NonKeyFinder finder(tree, options, &non_key_set, &result.stats);
-  result.incomplete = !finder.Run();
-  result.incomplete_reason = finder.abort_reason();
+  int threads = options.traversal_threads;
+  if (threads == 0) threads = EnvTraversalThreads();
+  if (threads < 0) threads = 0;  // explicit "force serial"
+  const bool parallel = threads >= 1 && tree.root() != nullptr &&
+                        !tree.root()->is_leaf &&
+                        tree.root()->cells.size() >= 2;
+  int64_t worker_pool_bytes = 0;
+  if (parallel) {
+    NonKeySet merged_set(nullptr);
+    ++result.stats.nodes_visited;  // the root, visited once in serial mode
+    ParallelTraversalResult pr = ParallelFindNonKeys(
+        tree, options, threads, &merged_set, &result.stats);
+    result.incomplete = pr.aborted;
+    result.incomplete_reason = pr.reason;
+    result.stats.traversal_threads_used = pr.threads_used;
+    result.stats.final_non_keys = merged_set.size();
+    result.non_keys = merged_set.non_keys();
+    worker_pool_bytes = pr.worker_pool_peak_bytes + merged_set.ApproxBytes();
+  } else {
+    NonKeySet non_key_set(&result.stats);
+    NonKeyFinder finder(tree, options, &non_key_set, &result.stats);
+    result.incomplete = !finder.Run();
+    result.incomplete_reason = finder.abort_reason();
+    result.stats.final_non_keys = non_key_set.size();
+    result.non_keys = non_key_set.non_keys();
+    worker_pool_bytes = non_key_set.ApproxBytes();
+  }
+  CanonicalizeNonKeys(&result.non_keys);
   result.stats.find_seconds = watch.ElapsedSeconds();
-  result.stats.final_non_keys = non_key_set.size();
-  result.non_keys = non_key_set.non_keys();
-  result.stats.peak_memory_bytes =
-      tree.pool().peak_bytes() + non_key_set.ApproxBytes();
+  result.stats.peak_memory_bytes = tree.pool().peak_bytes() + worker_pool_bytes;
 
   if (result.incomplete) {
     // A partial non-key set cannot certify keys (a set looks like a key

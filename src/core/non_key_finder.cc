@@ -18,24 +18,88 @@ NonKeyFinder::NonKeyFinder(PrefixTree& tree,
     suffix_attrs_[l] = suffix_attrs_[l + 1];
     suffix_attrs_[l].Set(tree_.attribute_at_level(l));
   }
+  merge_pool_ = &tree_.pool();
 }
 
 bool NonKeyFinder::Run() {
   if (tree_.root() == nullptr || tree_.num_entities() == 0) return true;
-  budget_watch_.Restart();
+  StartBudgetClock(0);
   Visit(tree_.root(), 0);
+  return !aborted_;
+}
+
+void NonKeyFinder::StartBudgetClock(double offset_seconds) {
+  budget_offset_seconds_ = offset_seconds;
+  budget_watch_.Restart();
+}
+
+bool NonKeyFinder::RunSlice(int cell_index) {
+  PrefixTree::Node* root = tree_.root();
+  assert(root != nullptr && !root->is_leaf);
+  assert(cell_index >= 0 &&
+         cell_index < static_cast<int>(root->cells.size()));
+  if (aborted_) return false;
+  const int attr = tree_.attribute_at_level(0);
+  cur_non_key_.Set(attr);
+  const PrefixTree::Cell& cell = root->cells[cell_index];
+  if (options_.singleton_pruning && cell.child->ref_count > 1) {
+    // Cannot happen in a freshly built base tree (top-level subtrees have a
+    // single parent) but kept for exact parity with the serial loop body.
+    if (stats_ != nullptr) ++stats_->singleton_traversal_prunes;
+    if (observer_ != nullptr) observer_->OnPrune("singleton", 0);
+  } else {
+    Visit(cell.child, 1);
+  }
+  cur_non_key_.Reset(attr);
+  return !aborted_;
+}
+
+bool NonKeyFinder::RunRootMerge() {
+  PrefixTree::Node* root = tree_.root();
+  assert(root != nullptr && !root->is_leaf);
+  if (aborted_) return false;
+  // cur_non_key_ is empty here: the root attribute was projected back out at
+  // the end of every slice, matching line 22 of Algorithm 4.
+  assert(cur_non_key_.Empty());
+  if (root->cells.size() <= 1) {
+    if (root->cells.size() == 1) {
+      if (stats_ != nullptr) ++stats_->singleton_merge_prunes;
+      if (observer_ != nullptr) observer_->OnPrune("singleton-merge", 0);
+    }
+    return !aborted_;
+  }
+  if (options_.futility_pruning && FutilityCovered(suffix_attrs_[1])) {
+    if (stats_ != nullptr) ++stats_->futility_prunes;
+    if (observer_ != nullptr) observer_->OnPrune("futility", 0);
+    return !aborted_;
+  }
+  std::vector<PrefixTree::Node*> children;
+  children.reserve(root->cells.size());
+  for (const PrefixTree::Cell& cell : root->cells) {
+    children.push_back(cell.child);
+  }
+  PrefixTree::Node* merged =
+      MergeNodes(*merge_pool_, children, stats_, &merge_scratch_);
+  if (observer_ != nullptr) observer_->OnMerge(0);
+  Visit(merged, 1);
+  merge_pool_->Unref(merged);
   return !aborted_;
 }
 
 bool NonKeyFinder::OverBudget() {
   if (aborted_) return true;
   // A relaxed load per Visit is noise next to the traversal work, so the
-  // cancellation flag — unlike the clock — is polled unamortized: a
-  // cancelled service job should unwind promptly.
+  // cancellation and stop flags — unlike the clock — are polled unamortized:
+  // a cancelled service job should unwind promptly.
   if (options_.cancel_flag != nullptr &&
       options_.cancel_flag->load(std::memory_order_relaxed)) {
     aborted_ = true;
     abort_reason_ = AbortReason::kCancelled;
+    return true;
+  }
+  if (external_stop_ != nullptr &&
+      external_stop_->load(std::memory_order_relaxed)) {
+    aborted_ = true;  // reason stays kNone: it belongs to another worker
     return true;
   }
   if (options_.max_non_keys > 0 && non_keys_->size() > options_.max_non_keys) {
@@ -43,15 +107,28 @@ bool NonKeyFinder::OverBudget() {
     abort_reason_ = AbortReason::kNonKeyBudget;
     return true;
   }
-  // The wall-clock check is amortized: nodes_visited ticks on every Visit,
-  // so checking every 4096 visits keeps the overhead negligible.
-  if (options_.time_budget_seconds > 0 && stats_ != nullptr &&
-      (stats_->nodes_visited & 0xFFF) == 0 &&
-      budget_watch_.ElapsedSeconds() > options_.time_budget_seconds) {
-    aborted_ = true;
-    abort_reason_ = AbortReason::kTimeBudget;
+  // The wall-clock check (and the snapshot maintenance hook) is amortized
+  // over a finder-local tick so it works — and costs the same — whether or
+  // not a stats sink was supplied.
+  if ((++visit_tick_ & 0xFFF) == 0) {
+    if (maintenance_) maintenance_();
+    if (options_.time_budget_seconds > 0 &&
+        budget_offset_seconds_ + budget_watch_.ElapsedSeconds() >
+            options_.time_budget_seconds) {
+      aborted_ = true;
+      abort_reason_ = AbortReason::kTimeBudget;
+    }
   }
   return aborted_;
+}
+
+bool NonKeyFinder::FutilityCovered(const AttributeSet& probe) {
+  if (non_keys_->CoversSet(probe)) return true;
+  if (remote_cover_ && remote_cover_(probe)) {
+    if (stats_ != nullptr) ++stats_->futility_snapshot_prunes;
+    return true;
+  }
+  return false;
 }
 
 void NonKeyFinder::ProcessLeaf(PrefixTree::Node* node, int level) {
@@ -132,7 +209,7 @@ void NonKeyFinder::Visit(PrefixTree::Node* node, int level) {
   // produce is cur_non_key_ | suffix_attrs_[level + 1]; if an already
   // discovered non-key covers it, everything below is redundant.
   if (options_.futility_pruning &&
-      non_keys_->CoversSet(cur_non_key_ | suffix_attrs_[level + 1])) {
+      FutilityCovered(cur_non_key_ | suffix_attrs_[level + 1])) {
     if (stats_ != nullptr) ++stats_->futility_prunes;
     if (observer_ != nullptr) observer_->OnPrune("futility", level);
     return;
@@ -143,11 +220,11 @@ void NonKeyFinder::Visit(PrefixTree::Node* node, int level) {
   for (const PrefixTree::Cell& cell : node->cells) {
     children.push_back(cell.child);
   }
-  PrefixTree::NodePool& pool = tree_.pool();
-  PrefixTree::Node* merged = MergeNodes(pool, children, stats_);
+  PrefixTree::Node* merged =
+      MergeNodes(*merge_pool_, children, stats_, &merge_scratch_);
   if (observer_ != nullptr) observer_->OnMerge(level);
   Visit(merged, level + 1);
-  pool.Unref(merged);  // line 29: discard the merged tree
+  merge_pool_->Unref(merged);  // line 29: discard the merged tree
 }
 
 }  // namespace gordian

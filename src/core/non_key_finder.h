@@ -1,6 +1,8 @@
 #ifndef GORDIAN_CORE_NON_KEY_FINDER_H_
 #define GORDIAN_CORE_NON_KEY_FINDER_H_
 
+#include <atomic>
+#include <functional>
 #include <vector>
 
 #include "common/attribute_set.h"
@@ -40,6 +42,12 @@ class TraversalObserver {
 // are merged (projecting out the node's attribute) and the merged tree is
 // explored recursively — so every segment of every slice is examined, in the
 // order shown in the paper's Figure 9, except where pruning applies.
+//
+// Run() is the ordinary serial entry point. For the parallel traversal
+// (docs/parallel.md) each worker owns a private finder and drives it through
+// RunSlice / RunRootMerge instead; the Set* hooks below wire the worker into
+// the shared machinery (merge-node pool, stop flag, futility snapshots).
+// A finder is never shared across threads.
 class NonKeyFinder {
  public:
   NonKeyFinder(PrefixTree& tree, const GordianOptions& options,
@@ -52,13 +60,64 @@ class NonKeyFinder {
   // and the traversal stopped early; abort_reason() then says which.
   bool Run();
 
-  // Why the traversal stopped early, or kNone after a complete run.
+  // Why the traversal stopped early, or kNone after a complete run. An
+  // external stop (SetExternalStop) aborts with kNone — the reason belongs
+  // to whichever worker tripped it, and the parallel driver resolves it.
   AbortReason abort_reason() const { return abort_reason_; }
+
+  // --- parallel-traversal entry points -----------------------------------
+
+  // Replays the slice body of Visit(root, 0) for exactly one top-level cell
+  // of the base tree: appends the root attribute to the candidate non-key,
+  // visits (or singleton-prunes) cell_index's subtree, removes the
+  // attribute again. Valid only for a non-leaf root. Returns false once the
+  // finder has aborted.
+  bool RunSlice(int cell_index);
+
+  // Replays the post-children tail of Visit(root, 0): singleton-merge /
+  // futility checks, then the merge of all top-level subtrees (projecting
+  // out the root attribute) and the recursive exploration of the merged
+  // tree. Run serially, after every slice of every worker has finished,
+  // against the union NonKeySet. Returns false once aborted.
+  bool RunRootMerge();
+
+  // Starts the budget clock with time already spent elsewhere in the find
+  // phase (a worker picking up its first slice late must charge the wait
+  // against options.time_budget_seconds). Run() resets the offset to zero;
+  // callers of RunSlice/RunRootMerge invoke this once instead.
+  void StartBudgetClock(double offset_seconds);
+
+  // Merge intermediates are allocated from `pool` instead of the tree's own
+  // pool. Workers traverse disjoint base subtrees but must not share an
+  // allocator; each passes its private pool here.
+  void SetMergePool(PrefixTree::NodePool* pool) { merge_pool_ = pool; }
+
+  // When `stop` becomes true the finder unwinds exactly like a cancellation
+  // but leaves abort_reason() at kNone (see above).
+  void SetExternalStop(const std::atomic<bool>* stop) { external_stop_ = stop; }
+
+  // `cover` is consulted by the futility test after the local NonKeySet
+  // fails to cover the probe; returning true prunes and is counted under
+  // futility_snapshot_prunes. Used to test against other workers' published
+  // snapshots. Must be cheap-ish: it runs on the traversal hot path.
+  void SetRemoteCover(std::function<bool(const AttributeSet&)> cover) {
+    remote_cover_ = std::move(cover);
+  }
+
+  // Invoked once every 4096 visits (the same amortization as the wall-clock
+  // budget check). Workers use it to publish their local non-keys and to
+  // refresh their view of the snapshot board.
+  void SetMaintenanceHook(std::function<void()> hook) {
+    maintenance_ = std::move(hook);
+  }
 
  private:
   void Visit(PrefixTree::Node* node, int level);
   void ProcessLeaf(PrefixTree::Node* node, int level);
   bool OverBudget();
+  // The futility predicate: local NonKeySet first, then the remote-cover
+  // hook. Bumps futility_snapshot_prunes when only the remote side fires.
+  bool FutilityCovered(const AttributeSet& probe);
 
   PrefixTree& tree_;
   const GordianOptions& options_;
@@ -76,8 +135,23 @@ class NonKeyFinder {
   // still produce is cur_non_key_ | suffix_attrs_[l]).
   std::vector<AttributeSet> suffix_attrs_;
 
+  // Reused across every MergeNodes call of the traversal.
+  MergeScratch merge_scratch_;
+
+  // Pool for merge intermediates; defaults to tree_.pool() (serial mode).
+  PrefixTree::NodePool* merge_pool_ = nullptr;
+
+  // Parallel hooks (all optional, unset in serial mode).
+  const std::atomic<bool>* external_stop_ = nullptr;
+  std::function<bool(const AttributeSet&)> remote_cover_;
+  std::function<void()> maintenance_;
+
   // Budget state (see GordianOptions): aborted_ unwinds the recursion.
+  // visit_tick_ amortizes the clock check and maintenance hook; it is local
+  // so the budget is enforced even when no stats sink was supplied.
   Stopwatch budget_watch_;
+  double budget_offset_seconds_ = 0;
+  uint64_t visit_tick_ = 0;
   bool aborted_ = false;
   AbortReason abort_reason_ = AbortReason::kNone;
 };

@@ -87,6 +87,19 @@ struct GordianOptions {
   // reason kCancelled. The pointed-to flag must outlive the run. Used by
   // the profiling service to cancel in-flight jobs without killing threads.
   const std::atomic<bool>* cancel_flag = nullptr;
+
+  // Intra-query parallelism: number of worker threads over which FindKeys
+  // fans out the root's top-level slices of the traversal (each worker runs
+  // a private NonKeyFinder; discovered non-keys are exchanged through a
+  // lock-light snapshot so futility pruning still fires across slices, and
+  // the per-slice results are merged deterministically before the final
+  // root-merge pass). 0 = serial (the default; also consults the
+  // GORDIAN_THREADS environment variable, letting CI exercise the whole
+  // suite in parallel mode without code changes). >= 1 engages the parallel
+  // machinery with that many workers. < 0 forces serial even when
+  // GORDIAN_THREADS is set (the equivalence tests pin their baseline this
+  // way). Results are identical to serial mode; see docs/parallel.md.
+  int traversal_threads = 0;
 };
 
 // Counters and timings reported by a discovery run; feeds Table 2 and the
@@ -107,6 +120,9 @@ struct GordianStats {
   int64_t singleton_merge_prunes = 0;
   int64_t single_entity_prunes = 0;
   int64_t futility_prunes = 0;
+  // Of the futility_prunes, how many fired off another worker's published
+  // snapshot rather than locally discovered non-keys (parallel mode only).
+  int64_t futility_snapshot_prunes = 0;
 
   // NonKeySet container.
   int64_t non_key_insert_attempts = 0;
@@ -115,7 +131,11 @@ struct GordianStats {
   int64_t final_non_keys = 0;
 
   // Memory (bytes); peak covers tree + merge intermediates + NonKeySet.
+  // In parallel mode, worker-pool peaks are summed in.
   int64_t peak_memory_bytes = 0;
+
+  // Worker threads the find phase actually used (0 = serial traversal).
+  int64_t traversal_threads_used = 0;
 
   // Wall-clock per phase.
   double build_seconds = 0;

@@ -6,9 +6,29 @@
 
 namespace gordian {
 
+PrefixTree::NodePool::~NodePool() {
+  for (Node* block : blocks_) delete[] block;
+}
+
 PrefixTree::Node* PrefixTree::NodePool::NewNode(bool is_leaf) {
-  Node* n = new Node();
+  Node* n;
+  if (!free_list_.empty()) {
+    // Recycled node: its cells vector kept its capacity, so the upcoming
+    // fill pays no reallocation.
+    n = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    if (next_in_block_ == kNodesPerBlock) {
+      blocks_.push_back(new Node[kNodesPerBlock]);
+      next_in_block_ = 0;
+    }
+    n = &blocks_.back()[next_in_block_++];
+  }
   n->is_leaf = is_leaf;
+  n->ref_count = 1;
+  n->entity_total = 0;
+  assert(n->cells.empty());
+  assert(n->accounted_bytes == 0);
   ++live_nodes_;
   ++total_nodes_;
   tracker_.Add(static_cast<int64_t>(sizeof(Node)));
@@ -22,8 +42,10 @@ void PrefixTree::NodePool::Unref(Node* n) {
     for (const Cell& c : n->cells) Unref(c.child);
   }
   tracker_.Release(static_cast<int64_t>(sizeof(Node)) + n->accounted_bytes);
+  n->accounted_bytes = 0;
+  n->cells.clear();  // keeps capacity for the next user of this node
   --live_nodes_;
-  delete n;
+  free_list_.push_back(n);
 }
 
 void PrefixTree::NodePool::SyncCellBytes(Node* n) {
@@ -101,8 +123,12 @@ PrefixTree PrefixTree::BuildSorted(const Table& table,
       tree.has_duplicate_entities_ = true;
       Node* leaf = stack[depth - 1];
       ++leaf->cells.back().count;
+      ++leaf->entity_total;
       // Propagate subtree counts up the open path.
-      for (int l = 0; l + 1 < depth; ++l) ++stack[l]->cells.back().count;
+      for (int l = 0; l + 1 < depth; ++l) {
+        ++stack[l]->cells.back().count;
+        ++stack[l]->entity_total;
+      }
       prev_row = r;
       continue;
     }
@@ -124,9 +150,13 @@ PrefixTree PrefixTree::BuildSorted(const Table& table,
         stack[l + 1] = cell.child;
       }
       node->cells.push_back(cell);
+      ++node->entity_total;
     }
     // Bump the subtree counts of the reused prefix path.
-    for (int l = 0; l < branch; ++l) ++stack[l]->cells.back().count;
+    for (int l = 0; l < branch; ++l) {
+      ++stack[l]->cells.back().count;
+      ++stack[l]->entity_total;
+    }
     prev_row = r;
   }
   for (int l = 0; l < depth; ++l) {
@@ -164,6 +194,7 @@ PrefixTree PrefixTree::BuildInsertion(const Table& table,
         pool.SyncCellBytes(node);
       }
       ++it->count;
+      ++node->entity_total;
       if (l == depth - 1) {
         if (it->count > 1) tree.has_duplicate_entities_ = true;
       } else {
@@ -196,6 +227,14 @@ int64_t PrefixTree::cell_count() const {
 PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
                              const std::vector<PrefixTree::Node*>& to_merge,
                              GordianStats* stats) {
+  MergeScratch scratch;
+  return MergeNodes(pool, to_merge, stats, &scratch, 0);
+}
+
+PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
+                             const std::vector<PrefixTree::Node*>& to_merge,
+                             GordianStats* stats, MergeScratch* scratch,
+                             size_t depth) {
   assert(!to_merge.empty());
   if (stats != nullptr) ++stats->merges_performed;
   if (to_merge.size() == 1) {
@@ -210,34 +249,47 @@ PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
   // Gather every input cell and sort by code: O(N log N) in the total cell
   // count, independent of the fan-in (a naive k-way scan would cost O(k)
   // per output cell, which is quadratic when a node with thousands of cells
-  // is merged).
-  std::vector<const PrefixTree::Cell*> gathered;
+  // is merged). The gather and partial buffers live in the per-depth
+  // scratch, so a traversal performing millions of merges reuses them
+  // instead of reallocating per call.
+  MergeScratch::Level& lv = scratch->AtDepth(depth);
+  lv.gathered.clear();
   size_t total = 0;
   for (const PrefixTree::Node* n : to_merge) total += n->cells.size();
-  gathered.reserve(total);
+  lv.gathered.reserve(total);
   for (const PrefixTree::Node* n : to_merge) {
-    for (const PrefixTree::Cell& c : n->cells) gathered.push_back(&c);
+    for (const PrefixTree::Cell& c : n->cells) lv.gathered.push_back(&c);
   }
-  std::sort(gathered.begin(), gathered.end(),
+  std::sort(lv.gathered.begin(), lv.gathered.end(),
             [](const PrefixTree::Cell* a, const PrefixTree::Cell* b) {
               return a->code < b->code;
             });
 
-  std::vector<PrefixTree::Node*> partial;
+  // Exact output size, so the merged cell vector is allocated once instead
+  // of growing geometrically.
+  size_t distinct = 0;
+  for (size_t i = 0; i < lv.gathered.size(); ++i) {
+    if (i == 0 || lv.gathered[i]->code != lv.gathered[i - 1]->code) ++distinct;
+  }
+  merged->cells.reserve(distinct);
+
   size_t i = 0;
-  while (i < gathered.size()) {
-    const uint32_t code = gathered[i]->code;
+  while (i < lv.gathered.size()) {
+    const uint32_t code = lv.gathered[i]->code;
     PrefixTree::Cell cell;
     cell.code = code;
     cell.count = 0;
     cell.child = nullptr;
-    partial.clear();
-    for (; i < gathered.size() && gathered[i]->code == code; ++i) {
-      cell.count += gathered[i]->count;
-      if (!leaf) partial.push_back(gathered[i]->child);
+    lv.partial.clear();
+    for (; i < lv.gathered.size() && lv.gathered[i]->code == code; ++i) {
+      cell.count += lv.gathered[i]->count;
+      if (!leaf) lv.partial.push_back(lv.gathered[i]->child);
     }
-    if (!leaf) cell.child = MergeNodes(pool, partial, stats);
+    if (!leaf) {
+      cell.child = MergeNodes(pool, lv.partial, stats, scratch, depth + 1);
+    }
     merged->cells.push_back(cell);
+    merged->entity_total += cell.count;
   }
   pool.SyncCellBytes(merged);
   return merged;

@@ -1,7 +1,9 @@
 #ifndef GORDIAN_CORE_PREFIX_TREE_H_
 #define GORDIAN_CORE_PREFIX_TREE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -34,26 +36,52 @@ class PrefixTree {
   struct Node {
     std::vector<Cell> cells;  // sorted by code, strictly increasing
     int64_t accounted_bytes = 0;  // maintained by NodePool::SyncCellBytes
+    // Sum of cells[*].count, maintained incrementally by the builders and
+    // by MergeNodes so the single-entity prune — which fires on every
+    // non-leaf Visit — never re-sums the cell vector.
+    int64_t entity_total = 0;
     int32_t ref_count = 1;
     bool is_leaf = false;
 
     int64_t EntityCount() const {
-      int64_t total = 0;
-      for (const Cell& c : cells) total += c.count;
-      return total;
+#ifdef GORDIAN_TREE_CONSISTENCY_CHECKS
+      int64_t recomputed = 0;
+      for (const Cell& c : cells) recomputed += c.count;
+      assert(recomputed == entity_total &&
+             "cached entity_total out of sync with cell counts");
+#endif
+      return entity_total;
     }
   };
 
   // Allocates, frees, and byte-accounts nodes. All merge intermediates flow
   // through the same pool as the base tree, so peak_bytes is the honest
   // maximum footprint of the whole tree phase.
+  //
+  // Storage is a block arena plus a free list: nodes are carved out of
+  // fixed-size blocks and recycled (retaining their cell-vector capacity)
+  // when their reference count drops to zero. The traversal's merge phase
+  // creates and discards millions of short-lived intermediate nodes; with
+  // recycling, the steady state performs no heap allocation at all. Byte
+  // accounting covers in-use nodes only — a recycled node's retained
+  // capacity is allocator slack, exactly like memory returned to malloc was
+  // before the arena, so current/peak semantics are unchanged.
+  //
+  // Not thread-safe; the parallel traversal gives each worker a private
+  // pool.
   class NodePool {
    public:
+    NodePool() = default;
+    ~NodePool();
+
+    NodePool(const NodePool&) = delete;
+    NodePool& operator=(const NodePool&) = delete;
+
     Node* NewNode(bool is_leaf);
 
     void AddRef(Node* n) { ++n->ref_count; }
 
-    // Drops one reference; frees the node (and recursively unrefs its
+    // Drops one reference; recycles the node (and recursively unrefs its
     // children) when the count reaches zero.
     void Unref(Node* n);
 
@@ -66,7 +94,12 @@ class PrefixTree {
     int64_t peak_bytes() const { return tracker_.peak_bytes(); }
 
    private:
+    static constexpr int kNodesPerBlock = 256;
+
     MemoryTracker tracker_;
+    std::vector<Node*> blocks_;     // owned arrays of kNodesPerBlock nodes
+    std::vector<Node*> free_list_;  // recycled nodes, cells capacity kept
+    int next_in_block_ = kNodesPerBlock;  // forces a block on first NewNode
     int64_t live_nodes_ = 0;
     int64_t total_nodes_ = 0;
   };
@@ -112,6 +145,30 @@ class PrefixTree {
   bool has_duplicate_entities_ = false;
 };
 
+// Reusable per-traversal buffers for MergeNodes: one gather/partial pair per
+// recursion depth, so a traversal performing millions of merges allocates
+// the scratch once and then only grows it to the high-water mark. A scratch
+// must not be shared across threads.
+class MergeScratch {
+ public:
+  struct Level {
+    std::vector<const PrefixTree::Cell*> gathered;
+    std::vector<PrefixTree::Node*> partial;
+  };
+
+  Level& AtDepth(size_t depth) {
+    if (depth >= levels_.size()) levels_.resize(depth + 1);
+    return levels_[depth];
+  }
+
+ private:
+  // deque, not vector: a merge at depth d holds a reference to its Level
+  // (and passes its `partial` buffer to the recursive call) while deeper
+  // merges may grow the table — deque growth never invalidates references
+  // to existing elements.
+  std::deque<Level> levels_;
+};
+
 // Algorithm 3: merges a set of same-level nodes into one node whose cells
 // hold the union of the input values; equal-value children are merged
 // recursively; equal-value leaf counts are summed. A single-node input is
@@ -119,10 +176,16 @@ class PrefixTree {
 // one reference to the result and must Unref it when done.
 //
 // `merges_performed` / `merge_nodes_created` counters are incremented when a
-// stats pointer is supplied.
+// stats pointer is supplied. The scratch overload reuses the caller's
+// buffers across calls; the two-argument form allocates a transient scratch
+// and exists for callers outside the traversal hot path (tests, benches).
 PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
                              const std::vector<PrefixTree::Node*>& to_merge,
                              GordianStats* stats);
+PrefixTree::Node* MergeNodes(PrefixTree::NodePool& pool,
+                             const std::vector<PrefixTree::Node*>& to_merge,
+                             GordianStats* stats, MergeScratch* scratch,
+                             size_t depth = 0);
 
 }  // namespace gordian
 

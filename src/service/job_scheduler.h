@@ -13,7 +13,7 @@
 #include <tuple>
 
 #include "common/stopwatch.h"
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gordian {
 

@@ -14,15 +14,17 @@ bool KeyCatalog::Put(uint64_t fingerprint, const std::string& table_name,
   entry.table_name = table_name;
   entry.num_columns = num_columns;
   entry.result = result;
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_[fingerprint] = std::move(entry);
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[fingerprint] = std::move(entry);
   return true;
 }
 
 bool KeyCatalog::Lookup(uint64_t fingerprint, CatalogEntry* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(fingerprint);
-  if (it == entries_.end()) return false;
+  const Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(fingerprint);
+  if (it == shard.entries.end()) return false;
   if (out != nullptr) *out = it->second;
   return true;
 }
@@ -32,25 +34,33 @@ bool KeyCatalog::Contains(uint64_t fingerprint) const {
 }
 
 bool KeyCatalog::Erase(uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.erase(fingerprint) > 0;
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.erase(fingerprint) > 0;
 }
 
 void KeyCatalog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
 }
 
 int64_t KeyCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.entries.size());
+  }
+  return total;
 }
 
 std::vector<uint64_t> KeyCatalog::Fingerprints() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> out;
-  out.reserve(entries_.size());
-  for (const auto& [fp, entry] : entries_) out.push_back(fp);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fp, entry] : shard.entries) out.push_back(fp);
+  }
   return out;
 }
 
@@ -155,11 +165,20 @@ bool ReadAttrs(std::istream& is, int num_columns, AttributeSet* attrs) {
 Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
   if (!os) return Status::IOError("cannot open " + path + " for writing");
-  std::lock_guard<std::mutex> lock(catalog.mu_);
+  // The entry count precedes the entries, so the snapshot must be globally
+  // consistent: take every shard lock, in index order (the same order Clear
+  // uses; point operations hold one lock at a time, so no cycle exists).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(KeyCatalog::kNumShards);
+  uint64_t total = 0;
+  for (const KeyCatalog::Shard& shard : catalog.shards_) {
+    locks.emplace_back(shard.mu);
+    total += shard.entries.size();
+  }
   os.write(kMagic, 4);
   WriteU32(os, kFormatVersion);
-  WriteU64(os, static_cast<uint64_t>(catalog.entries_.size()));
-  for (const auto& [fp, entry] : catalog.entries_) {
+  WriteU64(os, total);
+  auto write_entry = [&os](uint64_t fp, const CatalogEntry& entry) {
     WriteU64(os, fp);
     WriteStr(os, entry.table_name);
     WriteU32(os, static_cast<uint32_t>(entry.num_columns));
@@ -176,6 +195,9 @@ Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path) {
     }
     WriteU32(os, static_cast<uint32_t>(entry.result.non_keys.size()));
     for (const AttributeSet& nk : entry.result.non_keys) WriteAttrs(os, nk);
+  };
+  for (const KeyCatalog::Shard& shard : catalog.shards_) {
+    for (const auto& [fp, entry] : shard.entries) write_entry(fp, entry);
   }
   if (!os) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -256,8 +278,13 @@ Status ReadCatalogFile(const std::string& path, KeyCatalog* out) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(out->mu_);
-  out->entries_ = std::move(loaded.entries_);
+  // `loaded` is private to this call, so its shards need no locking; the
+  // destination's do. Shard assignment is a pure function of the
+  // fingerprint, so moving shard-by-shard preserves placement.
+  for (int s = 0; s < KeyCatalog::kNumShards; ++s) {
+    std::lock_guard<std::mutex> lock(out->shards_[s].mu);
+    out->shards_[s].entries = std::move(loaded.shards_[s].entries);
+  }
   return Status::OK();
 }
 

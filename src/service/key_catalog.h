@@ -1,6 +1,7 @@
 #ifndef GORDIAN_SERVICE_KEY_CATALOG_H_
 #define GORDIAN_SERVICE_KEY_CATALOG_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -24,6 +25,13 @@ struct CatalogEntry {
 // Thread-safe cache of discovery results keyed by table fingerprint. The
 // profiling service consults it before scheduling discovery: an unchanged
 // table (same fingerprint) is a cache hit and skips the run entirely.
+//
+// Storage is striped across 16 shards keyed by the fingerprint's top bits
+// (fingerprints are hashes, so the high bits are uniform): every worker of
+// the scheduler pool hits the catalog around each job, and a single mutex
+// would serialize them on entry copies that can be kilobytes. Point
+// operations lock exactly one shard; whole-catalog operations (Clear, size,
+// Fingerprints, persistence) visit shards in index order.
 //
 // Only complete results are admitted — an incomplete result (budget trip or
 // cancellation) certifies nothing and would poison the cache, so Put
@@ -60,8 +68,18 @@ class KeyCatalog {
                                  const std::string& path);
   friend Status ReadCatalogFile(const std::string& path, KeyCatalog* out);
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, CatalogEntry> entries_;
+  static constexpr int kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, CatalogEntry> entries;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) const {
+    return shards_[fingerprint >> 60];  // top 4 bits -> 0..15
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 // Binary persistence, following the GRDT conventions of table/serialize.h:

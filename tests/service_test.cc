@@ -20,7 +20,7 @@
 #include "service/job_scheduler.h"
 #include "service/metrics.h"
 #include "service/profiling_service.h"
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 #include "table/fingerprint.h"
 
 namespace gordian {
