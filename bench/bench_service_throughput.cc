@@ -1,10 +1,18 @@
 // bench_service_throughput: jobs/sec of the profiling service against plain
 // sequential FindKeys, at 1 worker and at one worker per hardware thread,
-// plus the warm-cache speedup when every table is already in the catalog.
+// plus the warm-cache speedup when every table is already in the catalog,
+// plus a repeated-table workload (catalog off, every job runs discovery)
+// that isolates the TreeArtifactCache's tree-build amortization. Per-stage
+// wall clock and tree-cache hit rate land in BENCH_pipeline.json
+// (overridable via GORDIAN_BENCH_PIPELINE_JSON) for CI trend tracking.
 //
-// Usage: bench_service_throughput [--tables=N] [--rows=N] [--threads=N]
+// Usage: bench_service_throughput [--tables=N] [--rows=N] [--repeats=N]
+//                                 [--threads=N]
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -13,6 +21,7 @@
 #include "common/stopwatch.h"
 #include "core/gordian.h"
 #include "datagen/synthetic.h"
+#include "service/metrics.h"
 #include "service/profiling_service.h"
 
 namespace {
@@ -54,6 +63,115 @@ double RunService(const std::vector<gordian::Table>& tables, int threads,
   }
   for (gordian::JobId id : ids) (void)service.Wait(id);
   return watch.ElapsedSeconds();
+}
+
+// Tables for the amortization workload: heavy Zipf skew is the paper's
+// Theorem 1 compression regime — tree build still walks every row's path,
+// but the shared prefixes keep the tree (and hence the traversal) small, so
+// build dominates per-job cost and reusing the built tree pays most.
+std::vector<gordian::Table> MakeBuildBoundTables(int count, int64_t rows) {
+  std::vector<gordian::Table> tables;
+  for (int i = 0; i < count; ++i) {
+    gordian::SyntheticSpec spec =
+        gordian::UniformSpec(8, rows, 32, 1.5, 7000 + i);
+    spec.columns[0].cardinality = 512;
+    spec.columns[1].cardinality = 512;
+    spec.planted_keys.push_back({0, 1});
+    gordian::Table t;
+    gordian::Status s = gordian::GenerateSynthetic(spec, &t);
+    if (!s.ok()) {
+      std::fprintf(stderr, "datagen failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+// The repeated-table workload: every table is profiled `repeats` times with
+// the catalog bypassed, so each job runs real discovery and only the prefix
+// tree is shareable. Submissions go in waves (one job per table per wave,
+// WaitAll between) so the service's identical-job coalescing cannot serve a
+// repeat without running it.
+struct RepeatedRun {
+  double seconds = 0;
+  gordian::ServiceMetrics::Snapshot metrics;
+};
+
+RepeatedRun RunRepeatedTables(const std::vector<gordian::Table>& tables,
+                              int threads, int repeats,
+                              int64_t tree_cache_bytes) {
+  gordian::ServiceOptions options;
+  options.num_threads = threads;
+  options.tree_cache_bytes = tree_cache_bytes;
+  gordian::ProfilingService service(options);
+  gordian::ProfileJobOptions job;
+  job.use_catalog = false;
+  gordian::Stopwatch watch;
+  for (int r = 0; r < repeats; ++r) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      (void)service.SubmitTable("t" + std::to_string(i), &tables[i], job);
+    }
+    service.WaitAll();
+  }
+  RepeatedRun run;
+  run.seconds = watch.ElapsedSeconds();
+  run.metrics = service.Metrics();
+  return run;
+}
+
+void WritePipelineJson(int num_tables, int64_t rows, int repeats, int threads,
+                       const RepeatedRun& cold, const RepeatedRun& warm) {
+  const char* env_path = std::getenv("GORDIAN_BENCH_PIPELINE_JSON");
+  const std::string path = (env_path != nullptr && *env_path != '\0')
+                               ? env_path
+                               : "BENCH_pipeline.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  const int jobs = num_tables * repeats;
+  auto stages = [&](const gordian::ServiceMetrics::Snapshot& m) {
+    std::string out = "[\n";
+    using Snap = gordian::ServiceMetrics::Snapshot;
+    for (int i = 0; i < Snap::kNumStages; ++i) {
+      if (m.stage_runs[i] == 0) continue;
+      if (out.size() > 2) out += ",\n";
+      out += "        {\"stage\": \"" + std::string(Snap::kStageNames[i]) +
+             "\", \"wall_seconds\": " + std::to_string(m.stage_seconds[i]) +
+             ", \"runs\": " + std::to_string(m.stage_runs[i]) + "}";
+    }
+    out += "\n      ]";
+    return out;
+  };
+  os << "{\n"
+     << "  \"benchmark\": \"pipeline_tree_cache\",\n"
+     << "  \"tables\": " << num_tables << ",\n"
+     << "  \"rows\": " << rows << ",\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"configurations\": [\n"
+     << "    {\"name\": \"cold_no_tree_cache\",\n"
+     << "     \"wall_seconds\": " << cold.seconds << ",\n"
+     << "     \"jobs_per_second\": "
+     << (cold.seconds > 0 ? jobs / cold.seconds : 0) << ",\n"
+     << "     \"tree_cache_hit_rate\": " << cold.metrics.tree_cache_hit_rate()
+     << ",\n"
+     << "     \"stages\": " << stages(cold.metrics) << "},\n"
+     << "    {\"name\": \"warm_tree_cache\",\n"
+     << "     \"wall_seconds\": " << warm.seconds << ",\n"
+     << "     \"jobs_per_second\": "
+     << (warm.seconds > 0 ? jobs / warm.seconds : 0) << ",\n"
+     << "     \"tree_cache_hit_rate\": " << warm.metrics.tree_cache_hit_rate()
+     << ",\n"
+     << "     \"stages\": " << stages(warm.metrics) << "}\n"
+     << "  ],\n"
+     << "  \"warm_speedup\": "
+     << (warm.seconds > 0 ? cold.seconds / warm.seconds : 0) << "\n"
+     << "}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace
@@ -104,5 +222,50 @@ int main(int argc, char** argv) {
               "%.1fx\n",
               num_tables, static_cast<long long>(rows),
               svcN_seconds / warm_seconds);
+
+  // Repeated-table workload: same tables profiled `repeats` times with the
+  // catalog off, so every job pays traversal + conversion and only the
+  // prefix-tree build can be amortized by the TreeArtifactCache.
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 8));
+  const int64_t amort_rows = flags.GetInt("amort_rows", 80000);
+  gordian::bench::Banner(
+      "tree-build amortization",
+      "repeated re-profiling (catalog off): TreeArtifactCache on vs off");
+  std::vector<gordian::Table> amort_tables =
+      MakeBuildBoundTables(num_tables, amort_rows);
+  const RepeatedRun cold = RunRepeatedTables(amort_tables, max_threads,
+                                             repeats, /*tree_cache_bytes=*/0);
+  // Budget sized to the working set: all tables' trees must stay resident,
+  // or the round-robin waves thrash the LRU (each wave evicts exactly the
+  // tree the next wave needs, and the hit rate collapses to zero).
+  const RepeatedRun warm = RunRepeatedTables(amort_tables, max_threads,
+                                             repeats,
+                                             /*tree_cache_bytes=*/1LL << 30);
+
+  const double jobs = static_cast<double>(num_tables) * repeats;
+  SeriesPrinter rp({"configuration", "seconds", "jobs/sec", "tree hit rate",
+                    "speedup"});
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f%%",
+                cold.metrics.tree_cache_hit_rate() * 100);
+  rp.AddRow({"tree cache off", FormatSeconds(cold.seconds),
+             FormatRatio(jobs / cold.seconds), rate, "1.00"});
+  std::snprintf(rate, sizeof(rate), "%.1f%%",
+                warm.metrics.tree_cache_hit_rate() * 100);
+  rp.AddRow({"tree cache on", FormatSeconds(warm.seconds),
+             FormatRatio(jobs / warm.seconds), rate,
+             FormatRatio(cold.seconds / warm.seconds)});
+  rp.Print();
+
+  std::printf("\nper-stage wall clock with the tree cache on:\n");
+  using Snap = gordian::ServiceMetrics::Snapshot;
+  for (int i = 0; i < Snap::kNumStages; ++i) {
+    if (warm.metrics.stage_runs[i] == 0) continue;
+    std::printf("  %-12s %8.3f s over %lld run(s)\n", Snap::kStageNames[i],
+                warm.metrics.stage_seconds[i],
+                static_cast<long long>(warm.metrics.stage_runs[i]));
+  }
+
+  WritePipelineJson(num_tables, amort_rows, repeats, max_threads, cold, warm);
   return 0;
 }

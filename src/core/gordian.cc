@@ -1,237 +1,18 @@
 #include "core/gordian.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <numeric>
 
-#include "common/random.h"
-#include "common/stopwatch.h"
-#include "core/key_conversion.h"
-#include "core/non_key_finder.h"
-#include "core/non_key_set.h"
-#include "core/parallel_finder.h"
-#include "core/prefix_tree.h"
-#include "core/strength.h"
+#include "core/pipeline.h"
 
 namespace gordian {
 
-namespace {
-
-// GORDIAN_THREADS engages the parallel traversal for callers that leave
-// GordianOptions::traversal_threads at 0 (CI runs the whole suite this way).
-// Read once: discovery may run on many threads and getenv is not reliably
-// safe against concurrent environment mutation.
-int EnvTraversalThreads() {
-  static const int cached = [] {
-    const char* s = std::getenv("GORDIAN_THREADS");
-    if (s == nullptr || *s == '\0') return 0;
-    const int v = std::atoi(s);
-    return v > 0 ? v : 0;
-  }();
-  return cached;
-}
-
-// Both traversal modes report non-keys in this canonical order (cardinality,
-// then bitset order — the same ordering MinimizeSets uses for keys), making
-// reports byte-identical across serial and parallel runs: the discovered
-// antichain's *content* is mode-invariant, but its insertion order is not.
-void CanonicalizeNonKeys(std::vector<AttributeSet>* non_keys) {
-  std::sort(non_keys->begin(), non_keys->end(),
-            [](const AttributeSet& a, const AttributeSet& b) {
-              const int ca = a.Count(), cb = b.Count();
-              if (ca != cb) return ca < cb;
-              return a < b;
-            });
-}
-
-std::vector<int> ComputeAttributeOrder(const Table& table,
-                                       const GordianOptions& options) {
-  const int d = table.num_columns();
-  std::vector<int> order(d);
-  std::iota(order.begin(), order.end(), 0);
-  switch (options.attribute_order) {
-    case GordianOptions::AttributeOrder::kSchema:
-      break;
-    case GordianOptions::AttributeOrder::kCardinalityDesc:
-      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-        return table.ColumnCardinality(a) > table.ColumnCardinality(b);
-      });
-      break;
-    case GordianOptions::AttributeOrder::kCardinalityAsc:
-      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-        return table.ColumnCardinality(a) < table.ColumnCardinality(b);
-      });
-      break;
-    case GordianOptions::AttributeOrder::kRandom: {
-      Random rng(options.order_seed);
-      for (int i = d - 1; i > 0; --i) {
-        std::swap(order[i],
-                  order[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
-      }
-      break;
-    }
-  }
-  return order;
-}
-
-}  // namespace
-
-namespace {
-
-// Column positions containing at least one NULL.
-std::vector<int> NullableColumns(const Table& table) {
-  std::vector<int> nullable;
-  for (int c = 0; c < table.num_columns(); ++c) {
-    uint32_t null_code = table.dictionary(c).Lookup(Value::Null());
-    if (null_code == UINT32_MAX) continue;
-    for (uint32_t code : table.column_codes(c)) {
-      if (code == null_code) {
-        nullable.push_back(c);
-        break;
-      }
-    }
-  }
-  return nullable;
-}
-
-}  // namespace
-
 KeyDiscoveryResult FindKeys(const Table& table, const GordianOptions& options) {
+  // The facade is a thin composition over the staged pipeline: encode, tree
+  // build, traversal (serial or parallel), key conversion, validation. See
+  // core/pipeline.h and docs/architecture.md.
+  ProfileSession session(options);
   KeyDiscoveryResult result;
-  const int d = table.num_columns();
-  result.stats.num_attributes = d;
-  if (d == 0) return result;
-
-  // SQL-style null handling: bar nullable columns from the search entirely,
-  // then lift the results of the projection back to original positions.
-  if (options.null_semantics ==
-      GordianOptions::NullSemantics::kExcludeNullableColumns) {
-    std::vector<int> nullable = NullableColumns(table);
-    if (!nullable.empty()) {
-      std::vector<int> kept;
-      size_t ni = 0;
-      for (int c = 0; c < d; ++c) {
-        if (ni < nullable.size() && nullable[ni] == c) {
-          ++ni;
-        } else {
-          kept.push_back(c);
-        }
-      }
-      if (kept.empty()) return result;  // nothing can be a key
-      GordianOptions inner = options;
-      inner.null_semantics = GordianOptions::NullSemantics::kNullEqualsNull;
-      KeyDiscoveryResult projected = FindKeys(table.SelectColumns(kept), inner);
-      auto remap = [&](const AttributeSet& attrs) {
-        AttributeSet out;
-        attrs.ForEach([&](int a) { out.Set(kept[a]); });
-        return out;
-      };
-      for (DiscoveredKey& k : projected.keys) k.attrs = remap(k.attrs);
-      for (AttributeSet& nk : projected.non_keys) nk = remap(nk);
-      projected.stats.num_attributes = d;
-      return projected;
-    }
-  }
-
-  // Optional sampling phase (Section 3.9).
-  const Table* data = &table;
-  Table sample;
-  if (options.sample_rows > 0 && options.sample_rows < table.num_rows()) {
-    sample = table.SampleRows(options.sample_rows, options.sample_seed);
-    data = &sample;
-    result.sampled = true;
-  }
-  result.stats.rows_processed = data->num_rows();
-
-  auto cancelled = [&options] {
-    return options.cancel_flag != nullptr &&
-           options.cancel_flag->load(std::memory_order_relaxed);
-  };
-  if (cancelled()) {
-    result.incomplete = true;
-    result.incomplete_reason = AbortReason::kCancelled;
-    return result;
-  }
-
-  // Phase 1: compress the dataset into a prefix tree (Algorithm 2).
-  Stopwatch watch;
-  std::vector<int> order = ComputeAttributeOrder(*data, options);
-  PrefixTree tree = PrefixTree::Build(*data, order, options.tree_build);
-  result.stats.build_seconds = watch.ElapsedSeconds();
-  result.stats.base_tree_nodes = tree.node_count();
-  result.stats.base_tree_cells = tree.cell_count();
-
-  if (tree.has_duplicate_entities()) {
-    // Algorithm 2, lines 17-18: a repeated entity means no key exists.
-    result.no_keys = true;
-    result.non_keys.push_back(AttributeSet::FirstN(d));
-    result.stats.peak_memory_bytes = tree.pool().peak_bytes();
-    return result;
-  }
-
-  if (cancelled()) {
-    result.incomplete = true;
-    result.incomplete_reason = AbortReason::kCancelled;
-    result.stats.peak_memory_bytes = tree.pool().peak_bytes();
-    return result;
-  }
-
-  // Phase 2: discover all non-redundant non-keys (Algorithm 4), serially or
-  // across worker threads (docs/parallel.md). The parallel path needs >= 2
-  // top-level slices to fan out; everything smaller (leaf root, single
-  // slice) is trivial and runs serially regardless.
-  watch.Restart();
-  int threads = options.traversal_threads;
-  if (threads == 0) threads = EnvTraversalThreads();
-  if (threads < 0) threads = 0;  // explicit "force serial"
-  const bool parallel = threads >= 1 && tree.root() != nullptr &&
-                        !tree.root()->is_leaf &&
-                        tree.root()->cells.size() >= 2;
-  int64_t worker_pool_bytes = 0;
-  if (parallel) {
-    NonKeySet merged_set(nullptr);
-    ++result.stats.nodes_visited;  // the root, visited once in serial mode
-    ParallelTraversalResult pr = ParallelFindNonKeys(
-        tree, options, threads, &merged_set, &result.stats);
-    result.incomplete = pr.aborted;
-    result.incomplete_reason = pr.reason;
-    result.stats.traversal_threads_used = pr.threads_used;
-    result.stats.final_non_keys = merged_set.size();
-    result.non_keys = merged_set.non_keys();
-    worker_pool_bytes = pr.worker_pool_peak_bytes + merged_set.ApproxBytes();
-  } else {
-    NonKeySet non_key_set(&result.stats);
-    NonKeyFinder finder(tree, options, &non_key_set, &result.stats);
-    result.incomplete = !finder.Run();
-    result.incomplete_reason = finder.abort_reason();
-    result.stats.final_non_keys = non_key_set.size();
-    result.non_keys = non_key_set.non_keys();
-    worker_pool_bytes = non_key_set.ApproxBytes();
-  }
-  CanonicalizeNonKeys(&result.non_keys);
-  result.stats.find_seconds = watch.ElapsedSeconds();
-  result.stats.peak_memory_bytes = tree.pool().peak_bytes() + worker_pool_bytes;
-
-  if (result.incomplete) {
-    // A partial non-key set cannot certify keys (a set looks like a key
-    // merely because its covering non-key was never discovered).
-    return result;
-  }
-
-  // Phase 3: convert non-keys to minimal keys (Algorithm 6).
-  watch.Restart();
-  std::vector<AttributeSet> keys = NonKeysToKeys(result.non_keys, d);
-  result.stats.convert_seconds = watch.ElapsedSeconds();
-
-  result.keys.reserve(keys.size());
-  for (const AttributeSet& k : keys) {
-    DiscoveredKey dk;
-    dk.attrs = k;
-    dk.estimated_strength =
-        result.sampled ? EstimatedStrengthLowerBound(*data, k) : 1.0;
-    if (!result.sampled) dk.exact_strength = 1.0;
-    result.keys.push_back(dk);
-  }
+  (void)session.Run(table, &result);  // default-plan stages never fail
   return result;
 }
 

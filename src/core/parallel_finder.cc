@@ -64,10 +64,10 @@ void AccumulateStats(const GordianStats& from, GordianStats* into) {
 
 }  // namespace
 
-ParallelTraversalResult ParallelFindNonKeys(PrefixTree& tree,
-                                            const GordianOptions& options,
-                                            int threads, NonKeySet* merged,
-                                            GordianStats* stats) {
+ParallelTraversalResult ParallelFindNonKeys(
+    PrefixTree& tree, const GordianOptions& options, int threads,
+    NonKeySet* merged, GordianStats* stats,
+    PrefixTree::NodePool* root_merge_pool) {
   PrefixTree::Node* root = tree.root();
   assert(root != nullptr && !root->is_leaf && root->cells.size() >= 2);
   const int num_slices = static_cast<int>(root->cells.size());
@@ -193,8 +193,9 @@ ParallelTraversalResult ParallelFindNonKeys(PrefixTree& tree,
   // Final pass of Algorithm 4 at the root: merge all top-level subtrees and
   // explore the projection that drops the root attribute. Serial, against
   // the union set, allocating from the tree's own pool like the serial mode
-  // does.
+  // does — unless the caller supplied a private pool (shared-tree runs).
   NonKeyFinder root_finder(tree, options, merged, stats);
+  if (root_merge_pool != nullptr) root_finder.SetMergePool(root_merge_pool);
   root_finder.StartBudgetClock(phase_watch.ElapsedSeconds());
   if (!root_finder.RunRootMerge()) {
     result.aborted = true;

@@ -75,10 +75,16 @@ struct ParallelTraversalResult {
 // docs/parallel.md for the argument. Requires a non-leaf root with >= 2
 // top-level cells and no duplicate entities (the caller falls back to the
 // serial path otherwise). Traversal counters are accumulated into `stats`.
-ParallelTraversalResult ParallelFindNonKeys(PrefixTree& tree,
-                                            const GordianOptions& options,
-                                            int threads, NonKeySet* merged,
-                                            GordianStats* stats);
+//
+// The final serial root-merge pass allocates from `root_merge_pool` when one
+// is supplied, and from the tree's own pool otherwise. Runs over a shared
+// (TreeArtifactCache) tree must pass a private pool so the cached tree's
+// NodePool accounting is left untouched; the caller owns that pool and its
+// byte accounting.
+ParallelTraversalResult ParallelFindNonKeys(
+    PrefixTree& tree, const GordianOptions& options, int threads,
+    NonKeySet* merged, GordianStats* stats,
+    PrefixTree::NodePool* root_merge_pool = nullptr);
 
 }  // namespace gordian
 

@@ -1,0 +1,349 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/key_conversion.h"
+#include "core/non_key_finder.h"
+#include "core/non_key_set.h"
+#include "core/parallel_finder.h"
+#include "core/strength.h"
+
+namespace gordian {
+
+namespace {
+
+// GORDIAN_THREADS engages the parallel traversal for callers that leave
+// GordianOptions::traversal_threads at 0 (CI runs the whole suite this way).
+// Read once: discovery may run on many threads and getenv is not reliably
+// safe against concurrent environment mutation.
+int EnvTraversalThreads() {
+  static const int cached = [] {
+    const char* s = std::getenv("GORDIAN_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    const int v = std::atoi(s);
+    return v > 0 ? v : 0;
+  }();
+  return cached;
+}
+
+// Both traversal modes report non-keys in this canonical order (cardinality,
+// then bitset order — the same ordering MinimizeSets uses for keys), making
+// reports byte-identical across serial and parallel runs: the discovered
+// antichain's *content* is mode-invariant, but its insertion order is not.
+void CanonicalizeNonKeys(std::vector<AttributeSet>* non_keys) {
+  std::sort(non_keys->begin(), non_keys->end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              const int ca = a.Count(), cb = b.Count();
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+}
+
+std::vector<int> ComputeAttributeOrder(const Table& table,
+                                       const GordianOptions& options) {
+  const int d = table.num_columns();
+  std::vector<int> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  switch (options.attribute_order) {
+    case GordianOptions::AttributeOrder::kSchema:
+      break;
+    case GordianOptions::AttributeOrder::kCardinalityDesc:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return table.ColumnCardinality(a) > table.ColumnCardinality(b);
+      });
+      break;
+    case GordianOptions::AttributeOrder::kCardinalityAsc:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return table.ColumnCardinality(a) < table.ColumnCardinality(b);
+      });
+      break;
+    case GordianOptions::AttributeOrder::kRandom: {
+      Random rng(options.order_seed);
+      for (int i = d - 1; i > 0; --i) {
+        std::swap(order[i],
+                  order[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+// Column positions containing at least one NULL.
+std::vector<int> NullableColumns(const Table& table) {
+  std::vector<int> nullable;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    uint32_t null_code = table.dictionary(c).Lookup(Value::Null());
+    if (null_code == UINT32_MAX) continue;
+    for (uint32_t code : table.column_codes(c)) {
+      if (code == null_code) {
+        nullable.push_back(c);
+        break;
+      }
+    }
+  }
+  return nullable;
+}
+
+// Shared tail of both traversal stages: canonical ordering, phase timing,
+// peak-memory accounting, and the incomplete short-circuit (a partial
+// non-key set cannot certify keys — later stages must not run).
+void FinishTraversal(ProfileContext* ctx, const Stopwatch& watch,
+                     int64_t worker_pool_bytes) {
+  CanonicalizeNonKeys(&ctx->result.non_keys);
+  ctx->result.stats.find_seconds = watch.ElapsedSeconds();
+  ctx->result.stats.peak_memory_bytes =
+      ctx->tree->pool().peak_bytes() + worker_pool_bytes;
+  if (ctx->tree_external) {
+    ctx->result.stats.peak_memory_bytes +=
+        ctx->external_merge_pool.peak_bytes();
+  }
+  if (ctx->result.incomplete) ctx->finished = true;
+}
+
+}  // namespace
+
+int ResolveTraversalThreads(const GordianOptions& options) {
+  int threads = options.traversal_threads;
+  if (threads == 0) threads = EnvTraversalThreads();
+  if (threads < 0) threads = 0;  // explicit "force serial"
+  return threads;
+}
+
+Status EncodeStage::Run(ProfileContext* ctx) {
+  const Table& table = *ctx->input;
+  const int d = table.num_columns();
+  ctx->result.stats.num_attributes = d;
+  if (d == 0) {
+    ctx->finished = true;
+    return Status::OK();
+  }
+
+  // SQL-style null handling: bar nullable columns from the search entirely,
+  // then lift the results of the projection back to original positions. The
+  // projection is profiled by a nested session running the same plan shape.
+  if (ctx->options.null_semantics ==
+      GordianOptions::NullSemantics::kExcludeNullableColumns) {
+    std::vector<int> nullable = NullableColumns(table);
+    if (!nullable.empty()) {
+      std::vector<int> kept;
+      size_t ni = 0;
+      for (int c = 0; c < d; ++c) {
+        if (ni < nullable.size() && nullable[ni] == c) {
+          ++ni;
+        } else {
+          kept.push_back(c);
+        }
+      }
+      if (kept.empty()) {  // nothing can be a key
+        ctx->finished = true;
+        return Status::OK();
+      }
+      GordianOptions inner = ctx->options;
+      inner.null_semantics = GordianOptions::NullSemantics::kNullEqualsNull;
+      Table projected_table = table.SelectColumns(kept);
+      ProfileSession nested(inner);
+      KeyDiscoveryResult projected;
+      Status s = nested.Run(projected_table, &projected);
+      if (!s.ok()) return s;
+      auto remap = [&](const AttributeSet& attrs) {
+        AttributeSet out;
+        attrs.ForEach([&](int a) { out.Set(kept[a]); });
+        return out;
+      };
+      for (DiscoveredKey& k : projected.keys) k.attrs = remap(k.attrs);
+      for (AttributeSet& nk : projected.non_keys) nk = remap(nk);
+      projected.stats.num_attributes = d;
+      ctx->result = std::move(projected);
+      ctx->finished = true;
+      return Status::OK();
+    }
+  }
+
+  // Optional sampling phase (Section 3.9).
+  ctx->data = &table;
+  if (ctx->options.sample_rows > 0 &&
+      ctx->options.sample_rows < table.num_rows()) {
+    ctx->sample_storage =
+        table.SampleRows(ctx->options.sample_rows, ctx->options.sample_seed);
+    ctx->data = &ctx->sample_storage;
+    ctx->result.sampled = true;
+  }
+  ctx->result.stats.rows_processed = ctx->data->num_rows();
+
+  if (ctx->Cancelled()) {
+    ctx->result.incomplete = true;
+    ctx->result.incomplete_reason = AbortReason::kCancelled;
+    ctx->finished = true;
+    return Status::OK();
+  }
+
+  ctx->attr_order = ComputeAttributeOrder(*ctx->data, ctx->options);
+  return Status::OK();
+}
+
+Status TreeBuildStage::Run(ProfileContext* ctx) {
+  Stopwatch watch;
+  if (ctx->tree != nullptr) {
+    // A prebuilt tree was injected (TreeArtifactCache hit). It was built
+    // from identical data under identical options, so it is the tree this
+    // stage would have produced; assert the level order agrees.
+    assert(ctx->tree->attr_order() == ctx->attr_order &&
+           "shared tree was built under a different attribute order");
+  } else {
+    ctx->owned_tree = std::make_unique<PrefixTree>(PrefixTree::Build(
+        *ctx->data, ctx->attr_order, ctx->options.tree_build));
+    ctx->tree = ctx->owned_tree.get();
+  }
+  PrefixTree& tree = *ctx->tree;
+  ctx->result.stats.build_seconds = watch.ElapsedSeconds();
+  ctx->result.stats.base_tree_nodes = tree.node_count();
+  ctx->result.stats.base_tree_cells = tree.cell_count();
+
+  if (tree.has_duplicate_entities()) {
+    // Algorithm 2, lines 17-18: a repeated entity means no key exists.
+    ctx->result.no_keys = true;
+    ctx->result.non_keys.push_back(
+        AttributeSet::FirstN(static_cast<int>(ctx->result.stats.num_attributes)));
+    ctx->result.stats.peak_memory_bytes = tree.pool().peak_bytes();
+    ctx->finished = true;
+    return Status::OK();
+  }
+
+  if (ctx->Cancelled()) {
+    ctx->result.incomplete = true;
+    ctx->result.incomplete_reason = AbortReason::kCancelled;
+    ctx->result.stats.peak_memory_bytes = tree.pool().peak_bytes();
+    ctx->finished = true;
+  }
+  return Status::OK();
+}
+
+Status SerialTraversalStage::Run(ProfileContext* ctx) {
+  Stopwatch watch;
+  KeyDiscoveryResult& result = ctx->result;
+  NonKeySet non_key_set(&result.stats);
+  NonKeyFinder finder(*ctx->tree, ctx->options, &non_key_set, &result.stats);
+  // An externally owned tree must come back byte-identical (other jobs will
+  // reuse it), so merge intermediates go to a private pool — the same
+  // discipline parallel workers already follow.
+  if (ctx->tree_external) finder.SetMergePool(&ctx->external_merge_pool);
+  result.incomplete = !finder.Run();
+  result.incomplete_reason = finder.abort_reason();
+  result.stats.final_non_keys = non_key_set.size();
+  result.non_keys = non_key_set.non_keys();
+  FinishTraversal(ctx, watch, non_key_set.ApproxBytes());
+  return Status::OK();
+}
+
+Status ParallelTraversalStage::Run(ProfileContext* ctx) {
+  PrefixTree& tree = *ctx->tree;
+  // The parallel path needs >= 2 top-level slices to fan out; everything
+  // smaller (leaf root, single slice) is trivial and runs serially
+  // regardless — the historical FindKeys dispatch.
+  const bool parallel = threads_ >= 1 && tree.root() != nullptr &&
+                        !tree.root()->is_leaf &&
+                        tree.root()->cells.size() >= 2;
+  if (!parallel) {
+    SerialTraversalStage serial;
+    return serial.Run(ctx);
+  }
+
+  Stopwatch watch;
+  KeyDiscoveryResult& result = ctx->result;
+  NonKeySet merged_set(nullptr);
+  ++result.stats.nodes_visited;  // the root, visited once in serial mode
+  ParallelTraversalResult pr = ParallelFindNonKeys(
+      tree, ctx->options, threads_, &merged_set, &result.stats,
+      ctx->tree_external ? &ctx->external_merge_pool : nullptr);
+  result.incomplete = pr.aborted;
+  result.incomplete_reason = pr.reason;
+  result.stats.traversal_threads_used = pr.threads_used;
+  result.stats.final_non_keys = merged_set.size();
+  result.non_keys = merged_set.non_keys();
+  FinishTraversal(ctx, watch,
+                  pr.worker_pool_peak_bytes + merged_set.ApproxBytes());
+  return Status::OK();
+}
+
+Status KeyConversionStage::Run(ProfileContext* ctx) {
+  Stopwatch watch;
+  std::vector<AttributeSet> keys =
+      NonKeysToKeys(ctx->result.non_keys,
+                    static_cast<int>(ctx->result.stats.num_attributes));
+  ctx->result.stats.convert_seconds = watch.ElapsedSeconds();
+  ctx->result.keys.reserve(keys.size());
+  for (const AttributeSet& k : keys) {
+    DiscoveredKey dk;
+    dk.attrs = k;
+    ctx->result.keys.push_back(dk);
+  }
+  return Status::OK();
+}
+
+Status ValidationStage::Run(ProfileContext* ctx) {
+  for (DiscoveredKey& k : ctx->result.keys) {
+    k.estimated_strength =
+        ctx->result.sampled ? EstimatedStrengthLowerBound(*ctx->data, k.attrs)
+                            : 1.0;
+    if (!ctx->result.sampled) k.exact_strength = 1.0;
+  }
+  return Status::OK();
+}
+
+ProfilePlan ProfilePlan::Default(const GordianOptions& options) {
+  ProfilePlan plan;
+  plan.Append(std::make_unique<EncodeStage>());
+  plan.Append(std::make_unique<TreeBuildStage>());
+  const int threads = ResolveTraversalThreads(options);
+  if (threads >= 1) {
+    plan.Append(std::make_unique<ParallelTraversalStage>(threads));
+  } else {
+    plan.Append(std::make_unique<SerialTraversalStage>());
+  }
+  plan.Append(std::make_unique<KeyConversionStage>());
+  plan.Append(std::make_unique<ValidationStage>());
+  return plan;
+}
+
+Status ProfileSession::Run(const Table& table, KeyDiscoveryResult* out) {
+  ProfileContext ctx;
+  ctx.input = &table;
+  ctx.options = options_;
+  if (shared_tree_ != nullptr) {
+    ctx.tree = shared_tree_;
+    ctx.tree_external = true;
+    shared_tree_ = nullptr;  // one Run per injection
+  }
+  metrics_.clear();
+  built_tree_.reset();
+
+  Status status;
+  for (const std::unique_ptr<ProfileStage>& stage : plan_.stages()) {
+    Stopwatch watch;
+    status = stage->Run(&ctx);
+    StageMetric m;
+    m.name = stage->name();
+    m.seconds = watch.ElapsedSeconds();
+    // Dominant footprint per stage; see StageMetric.
+    if (m.name == "encode" && ctx.result.sampled) {
+      m.bytes = ctx.sample_storage.ApproxBytes();
+    } else if (m.name == "tree_build" && ctx.tree != nullptr) {
+      m.bytes = ctx.tree->pool().current_bytes();
+    } else if (m.name == "traverse") {
+      m.bytes = ctx.result.stats.peak_memory_bytes;
+    }
+    metrics_.push_back(std::move(m));
+    if (!status.ok() || ctx.finished) break;
+  }
+  built_tree_ = std::move(ctx.owned_tree);
+  *out = std::move(ctx.result);
+  return status;
+}
+
+}  // namespace gordian

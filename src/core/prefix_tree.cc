@@ -68,6 +68,7 @@ PrefixTree& PrefixTree::operator=(PrefixTree&& other) noexcept {
   attr_order_ = std::move(other.attr_order_);
   num_entities_ = other.num_entities_;
   has_duplicate_entities_ = other.has_duplicate_entities_;
+  cell_count_cache_ = other.cell_count_cache_;
   return *this;
 }
 
@@ -208,6 +209,7 @@ PrefixTree PrefixTree::BuildInsertion(const Table& table,
 int64_t PrefixTree::node_count() const { return pool_->live_nodes(); }
 
 int64_t PrefixTree::cell_count() const {
+  if (cell_count_cache_ >= 0) return cell_count_cache_;
   // Walk the tree; with ref counts all 1 in a freshly built tree this visits
   // each node once.
   int64_t cells = 0;
@@ -221,6 +223,7 @@ int64_t PrefixTree::cell_count() const {
       for (const Cell& c : n->cells) pending.push_back(c.child);
     }
   }
+  cell_count_cache_ = cells;
   return cells;
 }
 

@@ -130,6 +130,10 @@ class PrefixTree {
 
   int64_t num_entities() const { return num_entities_; }
   int64_t node_count() const;
+  // Memoized on first call: the base tree's structure is fixed after Build
+  // (traversal only touches reference counts and restores them), so the
+  // walk runs at most once per tree — cached trees served repeatedly by the
+  // TreeArtifactCache answer from the stored count.
   int64_t cell_count() const;
 
  private:
@@ -143,6 +147,7 @@ class PrefixTree {
   std::vector<int> attr_order_;
   int64_t num_entities_ = 0;
   bool has_duplicate_entities_ = false;
+  mutable int64_t cell_count_cache_ = -1;
 };
 
 // Reusable per-traversal buffers for MergeNodes: one gather/partial pair per

@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include "core/pipeline.h"
 #include "core/strength.h"
 
 #include <fstream>
@@ -45,10 +46,13 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
   }
   Table data = builder_.Build();
 
-  // Discovery itself must not sample again: the reservoir already did.
+  // Discovery itself must not sample again: the reservoir already did. The
+  // run is the same staged pipeline FindKeys composes (core/pipeline.h).
   GordianOptions discovery = options_;
   discovery.sample_rows = 0;
-  KeyDiscoveryResult result = FindKeys(data, discovery);
+  ProfileSession session(discovery);
+  KeyDiscoveryResult result;
+  (void)session.Run(data, &result);
   // Mark sampled runs so callers know keys carry estimates, and compute the
   // estimates the facade would have attached.
   if (reservoir_capacity_ > 0 && rows_seen_ > reservoir_capacity_) {

@@ -33,7 +33,8 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
 
 Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
                                 KeyCatalog* catalog,
-                                const GordianOptions& options) {
+                                const GordianOptions& options,
+                                TreeArtifactCache* tree_cache) {
   const uint64_t fp = TableFingerprint(table);
   if (catalog != nullptr) {
     CatalogEntry entry;
@@ -41,7 +42,10 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
       return BuildRecommendedIndexes(table, store, entry.result);
     }
   }
-  KeyDiscoveryResult result = FindKeys(table, options);
+  // Same staged pipeline + tree-artifact composition the profiling service
+  // runs; with tree_cache null this is plain FindKeys.
+  KeyDiscoveryResult result =
+      ProfileWithTreeCache(table, options, fp, tree_cache);
   if (catalog != nullptr && !result.incomplete) {
     // Tables carry no name; the advisor records entries anonymously.
     catalog->Put(fp, "", table.num_columns(), result);

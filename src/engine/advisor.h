@@ -8,6 +8,7 @@
 #include "engine/executor.h"
 #include "engine/row_store.h"
 #include "service/key_catalog.h"
+#include "service/tree_cache.h"
 
 namespace gordian {
 
@@ -26,10 +27,15 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
 
 // Catalog-backed variant: fingerprints the table and serves the key set
 // from `catalog` when present, running (and caching) discovery otherwise.
-// A re-advised unchanged table therefore skips discovery entirely.
+// A re-advised unchanged table therefore skips discovery entirely. The
+// discovery run is the same staged pipeline the profiling service composes
+// (core/pipeline.h); pass a TreeArtifactCache to additionally reuse the
+// built prefix tree when the catalog misses but the tree artifact matches
+// (e.g. advising under changed discovery budgets).
 Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
                                 KeyCatalog* catalog,
-                                const GordianOptions& options = {});
+                                const GordianOptions& options = {},
+                                TreeArtifactCache* tree_cache = nullptr);
 
 }  // namespace gordian
 

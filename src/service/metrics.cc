@@ -19,10 +19,15 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
   line("cache hits", s.cache_hits);
   line("cache misses", s.cache_misses);
   line("coalesced jobs", s.coalesced_jobs);
+  line("tree cache hits", s.tree_cache_hits);
+  line("tree cache misses", s.tree_cache_misses);
   line("queue depth", s.queue_depth);
   line("running jobs", s.running_jobs);
   std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "cache hit rate",
                 s.cache_hit_rate() * 100);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "tree hit rate",
+                s.tree_cache_hit_rate() * 100);
   out += buf;
   std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "mean latency",
                 s.mean_latency_seconds() * 1e3);
@@ -30,6 +35,21 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
   std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "max latency",
                 s.max_latency_seconds * 1e3);
   out += buf;
+  bool any_stage = false;
+  for (int i = 0; i < ServiceMetrics::Snapshot::kNumStages; ++i) {
+    if (s.stage_runs[i] != 0) any_stage = true;
+  }
+  if (any_stage) {
+    out += "  per-stage wall clock:\n";
+    for (int i = 0; i < ServiceMetrics::Snapshot::kNumStages; ++i) {
+      if (s.stage_runs[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "    %-16s %.3f s over %lld run(s)\n",
+                    ServiceMetrics::Snapshot::kStageNames[i],
+                    s.stage_seconds[i],
+                    static_cast<long long>(s.stage_runs[i]));
+      out += buf;
+    }
+  }
   return out;
 }
 

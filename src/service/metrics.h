@@ -1,9 +1,13 @@
 #ifndef GORDIAN_SERVICE_METRICS_H_
 #define GORDIAN_SERVICE_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "core/pipeline.h"
 
 namespace gordian {
 
@@ -21,6 +25,20 @@ class ServiceMetrics {
   void OnCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
   void OnCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
   void OnCoalesced() { coalesced_jobs_.fetch_add(1, kRelaxed); }
+  void OnTreeCacheHit() { tree_cache_hits_.fetch_add(1, kRelaxed); }
+  void OnTreeCacheMiss() { tree_cache_misses_.fetch_add(1, kRelaxed); }
+
+  // Accumulates one discovery run's per-stage wall clock (pipeline stage
+  // names: encode, tree_build, traverse, convert, validate; anything else
+  // lands in the "other" bucket).
+  void OnStageMetrics(const std::vector<StageMetric>& stages) {
+    for (const StageMetric& m : stages) {
+      const int slot = StageSlot(m.name);
+      stage_micros_[slot].fetch_add(
+          static_cast<int64_t>(m.seconds * 1e6), kRelaxed);
+      stage_runs_[slot].fetch_add(1, kRelaxed);
+    }
+  }
 
   void OnJobFinished(double latency_seconds) {
     int64_t micros = static_cast<int64_t>(latency_seconds * 1e6);
@@ -40,10 +58,20 @@ class ServiceMetrics {
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
     int64_t coalesced_jobs = 0;
+    int64_t tree_cache_hits = 0;
+    int64_t tree_cache_misses = 0;
     int64_t queue_depth = 0;    // filled in by the service, not a counter
     int64_t running_jobs = 0;   // likewise
     double total_latency_seconds = 0;
     double max_latency_seconds = 0;
+
+    // Per-pipeline-stage totals across all discovery runs, indexed as in
+    // kStageNames; *_runs counts how many runs executed the stage.
+    static constexpr int kNumStages = 6;
+    static constexpr const char* kStageNames[kNumStages] = {
+        "encode", "tree_build", "traverse", "convert", "validate", "other"};
+    std::array<double, kNumStages> stage_seconds{};
+    std::array<int64_t, kNumStages> stage_runs{};
 
     int64_t finished() const {
       return jobs_completed + jobs_cancelled + jobs_failed;
@@ -59,6 +87,13 @@ class ServiceMetrics {
                  : static_cast<double>(cache_hits) /
                        static_cast<double>(lookups);
     }
+    double tree_cache_hit_rate() const {
+      int64_t lookups = tree_cache_hits + tree_cache_misses;
+      return lookups == 0
+                 ? 0
+                 : static_cast<double>(tree_cache_hits) /
+                       static_cast<double>(lookups);
+    }
   };
 
   Snapshot Read() const {
@@ -70,6 +105,13 @@ class ServiceMetrics {
     s.cache_hits = cache_hits_.load(kRelaxed);
     s.cache_misses = cache_misses_.load(kRelaxed);
     s.coalesced_jobs = coalesced_jobs_.load(kRelaxed);
+    s.tree_cache_hits = tree_cache_hits_.load(kRelaxed);
+    s.tree_cache_misses = tree_cache_misses_.load(kRelaxed);
+    for (int i = 0; i < Snapshot::kNumStages; ++i) {
+      s.stage_seconds[i] =
+          static_cast<double>(stage_micros_[i].load(kRelaxed)) * 1e-6;
+      s.stage_runs[i] = stage_runs_[i].load(kRelaxed);
+    }
     s.total_latency_seconds =
         static_cast<double>(total_latency_micros_.load(kRelaxed)) * 1e-6;
     s.max_latency_seconds =
@@ -80,6 +122,13 @@ class ServiceMetrics {
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 
+  static int StageSlot(const std::string& name) {
+    for (int i = 0; i < Snapshot::kNumStages - 1; ++i) {
+      if (name == Snapshot::kStageNames[i]) return i;
+    }
+    return Snapshot::kNumStages - 1;  // "other"
+  }
+
   std::atomic<int64_t> jobs_submitted_{0};
   std::atomic<int64_t> jobs_completed_{0};
   std::atomic<int64_t> jobs_cancelled_{0};
@@ -87,6 +136,10 @@ class ServiceMetrics {
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> coalesced_jobs_{0};
+  std::atomic<int64_t> tree_cache_hits_{0};
+  std::atomic<int64_t> tree_cache_misses_{0};
+  std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_micros_{};
+  std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_runs_{};
   std::atomic<int64_t> total_latency_micros_{0};
   std::atomic<int64_t> max_latency_micros_{0};
 };

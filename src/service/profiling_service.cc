@@ -10,6 +10,10 @@ ProfilingService::ProfilingService(ServiceOptions options)
     : owned_catalog_(options.catalog == nullptr ? new KeyCatalog() : nullptr),
       catalog_(options.catalog == nullptr ? owned_catalog_.get()
                                           : options.catalog),
+      tree_cache_(options.tree_cache_bytes > 0
+                      ? std::make_unique<TreeArtifactCache>(
+                            options.tree_cache_bytes)
+                      : nullptr),
       scheduler_(options.num_threads) {}
 
 ProfilingService::~ProfilingService() = default;
@@ -130,7 +134,23 @@ void ProfilingService::RunTableJob(Record* rec,
     }
     metrics_.OnCacheMiss();
   }
-  rec->result = FindKeys(table, EffectiveOptions(options, ctx));
+  // Discovery through the staged pipeline, reusing a cached prefix-tree
+  // artifact when one matches this job's table + tree-shape options.
+  TreeArtifactCache* cache =
+      options.use_tree_cache ? tree_cache_.get() : nullptr;
+  std::vector<StageMetric> stage_metrics;
+  rec->result =
+      ProfileWithTreeCache(table, EffectiveOptions(options, ctx),
+                           rec->fingerprint, cache, &rec->tree_cache_hit,
+                           &stage_metrics);
+  if (cache != nullptr) {
+    if (rec->tree_cache_hit) {
+      metrics_.OnTreeCacheHit();
+    } else {
+      metrics_.OnTreeCacheMiss();
+    }
+  }
+  metrics_.OnStageMetrics(stage_metrics);
   // Incomplete results (budget, timeout, cancellation) certify nothing and
   // must not poison the catalog; Put would refuse them anyway.
   if (options.use_catalog && !rec->result.incomplete) {
@@ -197,6 +217,7 @@ ProfileOutcome ProfilingService::Wait(JobId id) {
   ProfileOutcome out;
   out.info = scheduler_.Wait(id);
   out.cache_hit = rec->cache_hit;
+  out.tree_cache_hit = rec->tree_cache_hit;
   out.fingerprint = rec->fingerprint;
   out.table_name = rec->name;
   out.result = rec->result;

@@ -13,6 +13,7 @@
 #include "service/job_scheduler.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
+#include "service/tree_cache.h"
 #include "table/csv.h"
 #include "table/fingerprint.h"
 #include "table/table.h"
@@ -27,6 +28,12 @@ struct ServiceOptions {
   // (which must outlive the service) instead of its own private one —
   // e.g. a catalog preloaded with ReadCatalogFile.
   KeyCatalog* catalog = nullptr;
+
+  // Byte budget for the prefix-tree artifact cache (LRU over built trees,
+  // measured by NodePool accounting): jobs re-profiling an unchanged table
+  // under different budgets/options skip BuildPrefixTree. 0 disables the
+  // cache.
+  int64_t tree_cache_bytes = TreeArtifactCache::kDefaultByteBudget;
 };
 
 // Per-job knobs for a profiling submission.
@@ -45,6 +52,12 @@ struct ProfileJobOptions {
   // Consult the key catalog before running and store the (complete) result
   // after. Off for callers that want a forced re-profile.
   bool use_catalog = true;
+
+  // Consult/populate the service's TreeArtifactCache: a job whose table,
+  // sample spec, and tree-shape options match a cached artifact skips the
+  // tree-build stage and goes straight to traversal. Independent of
+  // use_catalog — a forced re-profile still reuses the tree.
+  bool use_tree_cache = true;
 };
 
 // Everything known about a finished job. For coalesced submissions the
@@ -52,6 +65,7 @@ struct ProfileJobOptions {
 struct ProfileOutcome {
   JobInfo info;             // info.valid == false iff the id is unknown
   bool cache_hit = false;   // served from the catalog without discovery
+  bool tree_cache_hit = false;  // discovery ran but reused a cached tree
   bool coalesced = false;   // piggybacked on an identical in-flight job
   uint64_t fingerprint = 0; // 0 for CSV jobs (streams are not fingerprinted)
   std::string table_name;
@@ -62,7 +76,11 @@ struct ProfileOutcome {
 // discovery, poll or wait for results, cancel what you no longer need. Jobs
 // run on a priority scheduler across a thread pool; results of complete
 // runs land in a fingerprint-keyed KeyCatalog so re-profiling an unchanged
-// table is a cache hit that skips discovery entirely.
+// table is a cache hit that skips discovery entirely. Discovery itself is
+// the staged pipeline of core/pipeline.h, composed through the
+// TreeArtifactCache: jobs that miss the catalog (different budgets, forced
+// re-profiles) but match a cached prefix-tree artifact skip the tree-build
+// stage and pay only traversal + conversion.
 //
 // Concurrency notes:
 //  - Every public method is thread-safe.
@@ -111,6 +129,10 @@ class ProfilingService {
   // The catalog in use (the service's own, or ServiceOptions::catalog).
   KeyCatalog& catalog() { return *catalog_; }
 
+  // The prefix-tree artifact cache; null when disabled
+  // (ServiceOptions::tree_cache_bytes == 0).
+  TreeArtifactCache* tree_cache() { return tree_cache_.get(); }
+
   // Counter snapshot with live queue depth / running count filled in.
   ServiceMetrics::Snapshot Metrics() const;
 
@@ -126,6 +148,7 @@ class ProfilingService {
     bool started = false;  // body entered; false for cancelled-while-queued
     uint64_t fingerprint = 0;
     bool cache_hit = false;
+    bool tree_cache_hit = false;
     KeyDiscoveryResult result;
   };
 
@@ -139,6 +162,7 @@ class ProfilingService {
 
   std::unique_ptr<KeyCatalog> owned_catalog_;
   KeyCatalog* catalog_;
+  std::unique_ptr<TreeArtifactCache> tree_cache_;
   ServiceMetrics metrics_;
 
   mutable std::mutex mu_;  // guards records_, inflight_, next_alias_id_

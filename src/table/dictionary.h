@@ -2,7 +2,6 @@
 #define GORDIAN_TABLE_DICTIONARY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "table/value.h"
@@ -12,22 +11,29 @@ namespace gordian {
 // Bidirectional mapping between Values and dense uint32 codes for one
 // column. Codes are assigned in first-seen order; the code space of a
 // column is [0, size()).
+//
+// Each Value is stored exactly once, in `values_`; the reverse direction is
+// an open-addressed table of codes probed by Value::Hash() and resolved by
+// comparing against `values_[code]`. This halves dictionary memory versus
+// keeping a second Value copy inside a map key.
 class Dictionary {
  public:
   // Returns the code for `v`, inserting it if new.
   uint32_t Encode(const Value& v) {
-    auto it = to_code_.find(v);
-    if (it != to_code_.end()) return it->second;
+    if (values_.size() + 1 > (slots_.size() * 7) / 10) Rehash();
+    size_t i = Probe(v);
+    if (slots_[i] != kEmpty) return slots_[i];
     uint32_t code = static_cast<uint32_t>(values_.size());
     values_.push_back(v);
-    to_code_.emplace(values_.back(), code);
+    slots_[i] = code;
     return code;
   }
 
   // Returns the code for `v`, or UINT32_MAX if absent.
   uint32_t Lookup(const Value& v) const {
-    auto it = to_code_.find(v);
-    return it == to_code_.end() ? UINT32_MAX : it->second;
+    if (slots_.empty()) return UINT32_MAX;
+    size_t i = Probe(v);
+    return slots_[i] == kEmpty ? UINT32_MAX : slots_[i];
   }
 
   const Value& Decode(uint32_t code) const { return values_[code]; }
@@ -36,15 +42,38 @@ class Dictionary {
 
   // Approximate heap footprint; used by memory accounting.
   int64_t ApproxBytes() const {
-    int64_t b = static_cast<int64_t>(values_.capacity() * sizeof(Value));
-    b += static_cast<int64_t>(to_code_.size() *
-                              (sizeof(Value) + sizeof(uint32_t) + 16));
-    return b;
+    return static_cast<int64_t>(values_.capacity() * sizeof(Value) +
+                                slots_.capacity() * sizeof(uint32_t));
   }
 
  private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  // Index of the slot holding `v`'s code, or of the empty slot where it
+  // would be inserted. Requires a non-empty, never-full table.
+  size_t Probe(const Value& v) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(v.Hash()) & mask;
+    while (slots_[i] != kEmpty && !(values_[slots_[i]] == v)) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Rehash() {
+    size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    slots_.assign(cap, kEmpty);
+    size_t mask = cap - 1;
+    for (uint32_t code = 0; code < values_.size(); ++code) {
+      size_t i = static_cast<size_t>(values_[code].Hash()) & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = code;
+    }
+  }
+
   std::vector<Value> values_;
-  std::unordered_map<Value, uint32_t, ValueHash> to_code_;
+  // Power-of-two open-addressing table of codes; kEmpty marks a free slot.
+  std::vector<uint32_t> slots_;
 };
 
 }  // namespace gordian
