@@ -18,6 +18,12 @@ class Status {
     kIOError,
     kOutOfRange,
     kUnsupported,
+    // A best-effort operation salvaged some of its work but not all of it —
+    // e.g. catalog recovery loaded the surviving shards and quarantined a
+    // corrupt one. Deliberately not ok(): callers that cannot tolerate
+    // partial results reject it for free, while callers that can opt in via
+    // IsPartial().
+    kPartial,
   };
 
   Status() : code_(Code::kOk) {}
@@ -38,8 +44,12 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(Code::kUnsupported, std::move(msg));
   }
+  static Status Partial(std::string msg) {
+    return Status(Code::kPartial, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  bool IsPartial() const { return code_ == Code::kPartial; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -53,6 +63,7 @@ class Status {
       case Code::kIOError: name = "IOError"; break;
       case Code::kOutOfRange: name = "OutOfRange"; break;
       case Code::kUnsupported: name = "Unsupported"; break;
+      case Code::kPartial: name = "Partial"; break;
     }
     return std::string(name) + ": " + message_;
   }

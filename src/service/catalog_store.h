@@ -1,0 +1,164 @@
+#ifndef GORDIAN_SERVICE_CATALOG_STORE_H_
+#define GORDIAN_SERVICE_CATALOG_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/fault_fs.h"
+#include "service/key_catalog.h"
+#include "service/metrics.h"
+
+namespace gordian {
+
+// What a recovery pass (Open / Refresh) found on disk.
+struct RecoveryReport {
+  int shards_loaded = 0;       // shard files parsed and admitted
+  int shards_quarantined = 0;  // corrupt or missing-but-expected shards
+  int64_t entries_loaded = 0;
+  std::vector<int> quarantined_shards;    // shard indices, ascending
+  std::vector<std::string> messages;      // one per quarantine / anomaly
+};
+
+// What one Flush did.
+struct FlushStats {
+  int shards_flushed = 0;
+  int shards_skipped = 0;  // clean shards the dirty bit let us skip
+  int64_t bytes_written = 0;
+};
+
+// Crash-safe per-shard persistence for a KeyCatalog.
+//
+// On-disk layout (one directory per catalog):
+//
+//   LOCK                  flock'd writer lease, contents unused
+//   MANIFEST              "GRDM": format version, epoch, per-shard counts
+//   shard-00.grdc ...     one "GRDS" file per catalog shard (16), each
+//   shard-15.grdc         self-validating via a trailing content checksum
+//   *.tmp                 in-flight writes; ignored and reaped on open
+//   *.quarantined         corrupt shard files moved aside by recovery
+//
+// Every file is replaced by write-to-temp + fsync + atomic rename, so a
+// shard file on disk is always a complete snapshot — old or new, never a
+// mix. Shards carry their own checksums and are recoverable independently:
+// a crash between shard renames leaves some shards on the new snapshot and
+// some on the old, each internally consistent, and a torn or bit-flipped
+// shard is quarantined at load without touching its 15 neighbours. The
+// MANIFEST is bookkeeping (format version, flush epoch, expected shard
+// set), not a commit point.
+//
+// Durability: Flush serializes each dirty shard (per-shard version counters
+// in KeyCatalog are the dirty bits), writes temp + fsync + rename for each,
+// rewrites the MANIFEST the same way, then fsyncs the directory. A clean
+// Flush writes zero bytes. Any failure aborts the flush; shards renamed
+// before the failure are re-marked dirty so the next flush re-asserts their
+// durability (the directory fsync never ran).
+//
+// Sharing: a kReadWrite store takes an exclusive flock lease on LOCK for
+// its lifetime — a second writer fails fast in Open. kReadOnly stores take
+// no lease; they load the last flushed snapshot and can poll the writer's
+// progress with Refresh. This is the stepping stone to cross-process job
+// distribution: one process profiles and flushes, others consume.
+//
+// All file access goes through the FileSystem seam, so the fault-injection
+// tests can fail any single step deterministically. Open/Flush/Refresh are
+// thread-safe against each other; the KeyCatalog handles its own locking.
+class CatalogStore {
+ public:
+  enum class Mode { kReadWrite, kReadOnly };
+
+  struct Options {
+    Mode mode = Mode::kReadWrite;
+    FileSystem* fs = nullptr;           // null = DefaultFileSystem()
+    ServiceMetrics* metrics = nullptr;  // optional flush/recovery counters
+  };
+
+  // The store reads and writes `*catalog`, which must outlive it.
+  CatalogStore(std::string dir, KeyCatalog* catalog, Options options);
+  CatalogStore(std::string dir, KeyCatalog* catalog)
+      : CatalogStore(std::move(dir), catalog, Options()) {}
+  ~CatalogStore();  // releases the lease; does NOT flush (callers decide)
+
+  CatalogStore(const CatalogStore&) = delete;
+  CatalogStore& operator=(const CatalogStore&) = delete;
+
+  // Opens the directory. Read-write mode creates it if needed, takes the
+  // writer lease (failing fast if another writer holds it), reaps stale
+  // temp files, and marks every shard dirty when the directory is fresh.
+  // Both modes then load what is on disk into the catalog, replacing its
+  // contents. Returns OK (everything loaded, possibly nothing), Partial
+  // (some shards quarantined — the surviving ones are loaded and *report
+  // says which), or an error (lease unavailable / directory unusable, in
+  // which case the catalog is left untouched).
+  Status Open(RecoveryReport* report = nullptr);
+
+  // Rewrites dirty shards + manifest, then fsyncs the directory. Read-write
+  // mode only. With no dirty shards this writes nothing at all.
+  Status Flush(FlushStats* stats = nullptr);
+
+  // Re-reads the directory into the catalog — a read-only store's way to
+  // observe the writer's latest flush. Shards that fail to parse (e.g. read
+  // mid-replace) keep their previous in-memory contents and are reported.
+  Status Refresh(RecoveryReport* report = nullptr);
+
+  const std::string& dir() const { return dir_; }
+  Mode mode() const { return options_.mode; }
+
+  // Flush epoch of the on-disk manifest: 0 before the first flush,
+  // incremented by every manifest rewrite.
+  uint64_t epoch() const;
+
+  // Paths, exposed for tests and tooling.
+  std::string ShardPath(int shard) const;
+  std::string ManifestPath() const;
+  std::string LockPath() const;
+
+ private:
+  static constexpr int kNumShards = KeyCatalog::kNumShards;
+  // Version sentinel forcing a shard to be rewritten on the next flush.
+  static constexpr uint64_t kNeverFlushed = ~uint64_t{0};
+
+  FileSystem* fs() const { return options_.fs; }
+
+  // Serializes one shard snapshot into its self-validating file image.
+  static std::string EncodeShard(int shard,
+                                 const std::vector<CatalogEntry>& entries);
+  // Inverse of EncodeShard; InvalidArgument with a reason on any corruption.
+  static Status DecodeShard(const std::string& bytes, int shard,
+                            std::vector<CatalogEntry>* entries);
+
+  std::string EncodeManifest(uint64_t epoch) const;
+  Status DecodeManifest(const std::string& bytes, uint64_t* epoch,
+                        std::array<uint64_t, kNumShards>* counts) const;
+
+  // Temp-write + fsync + rename of `payload` onto `path`.
+  Status WriteDurably(const std::string& path, const std::string& payload);
+
+  // Moves a corrupt file aside (read-write mode) and records the outcome.
+  void Quarantine(int shard, const std::string& why, RecoveryReport* report);
+
+  // Shared by Open and Refresh: loads every shard file present.
+  // `keep_on_error` preserves a shard's in-memory entries when its file is
+  // unreadable (Refresh semantics) instead of clearing them (Open).
+  Status LoadShards(bool keep_on_error, RecoveryReport* report);
+
+  const std::string dir_;
+  KeyCatalog* const catalog_;
+  Options options_;
+
+  mutable std::mutex mu_;  // serializes Open/Flush/Refresh and the state below
+  bool opened_ = false;
+  int lease_handle_ = -1;
+  uint64_t epoch_ = 0;
+  // Catalog shard version as of the last durable write of that shard.
+  std::array<uint64_t, kNumShards> last_flushed_;
+  // Entry counts at the last flush/load, recorded in the manifest.
+  std::array<uint64_t, kNumShards> shard_counts_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_CATALOG_STORE_H_

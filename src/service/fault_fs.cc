@@ -1,0 +1,288 @@
+#include "service/fault_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace gordian {
+
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kWriteFile: return "write";
+    case FsOp::kSyncFile: return "sync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kSyncDir: return "syncdir";
+    case FsOp::kReadFile: return "read";
+    case FsOp::kRemove: return "remove";
+    case FsOp::kListDir: return "list";
+    case FsOp::kLock: return "lock";
+    case FsOp::kCreateDir: return "mkdir";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::IOError(std::string(what) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Errno("cannot create", path);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = Errno("write failed on", path);
+        ::close(fd);
+        return s;
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    if (::close(fd) != 0) return Errno("close failed on", path);
+    return Status::OK();
+  }
+
+  Status SyncFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) return Errno("cannot open for sync", path);
+    if (::fsync(fd) != 0) {
+      Status s = Errno("fsync failed on", path);
+      ::close(fd);
+      return s;
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("cannot rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("cannot open directory", dir);
+    if (::fsync(fd) != 0) {
+      Status s = Errno("fsync failed on directory", dir);
+      ::close(fd);
+      return s;
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status ReadFile(const std::string& path, std::string* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("cannot open", path);
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = Errno("read failed on", path);
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;
+      out->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("cannot remove", path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("cannot open directory", dir);
+    while (struct dirent* ent = ::readdir(d)) {
+      std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      names->push_back(std::move(name));
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("cannot create directory", path);
+    }
+    return Status::OK();
+  }
+
+  Status LockFile(const std::string& path, int* handle) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return Errno("cannot open lock file", path);
+    // flock is per open-file-description: a second open() of the same path
+    // conflicts even within one process, which is what makes the
+    // two-stores-one-directory tests faithful to the two-process case.
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      Status s = errno == EWOULDBLOCK
+                     ? Status::IOError("lock " + path +
+                                       " is held by another writer")
+                     : Errno("cannot lock", path);
+      ::close(fd);
+      return s;
+    }
+    *handle = fd;
+    return Status::OK();
+  }
+
+  void UnlockFile(int handle) override {
+    if (handle >= 0) ::close(handle);  // close drops the flock
+  }
+};
+
+}  // namespace
+
+FileSystem* DefaultFileSystem() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+void FaultInjectionFs::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = std::move(spec);
+  armed_ = true;
+  fired_ = false;
+  halted_ = false;
+}
+
+void FaultInjectionFs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  fired_ = false;
+  halted_ = false;
+}
+
+bool FaultInjectionFs::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultInjectionFs::Check(FsOp op, const std::string& path,
+                               int64_t* partial_bytes) {
+  const bool mutates = op == FsOp::kWriteFile || op == FsOp::kSyncFile ||
+                       op == FsOp::kRename || op == FsOp::kSyncDir ||
+                       op == FsOp::kRemove || op == FsOp::kCreateDir;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (halted_ && mutates) {
+    return Status::IOError("file system halted after injected fault");
+  }
+  if (!armed_ || fired_ || op != spec_.op ||
+      path.find(spec_.path_substr) == std::string::npos) {
+    return Status::OK();
+  }
+  if (spec_.countdown > 0) {
+    --spec_.countdown;
+    return Status::OK();
+  }
+  fired_ = true;
+  halted_ = spec_.halt_after;
+  if (op == FsOp::kWriteFile && spec_.partial_bytes >= 0) {
+    *partial_bytes = spec_.partial_bytes;
+  }
+  return Status::IOError(spec_.message + " (" + std::string(FsOpName(op)) +
+                         " " + path + ")");
+}
+
+Status FaultInjectionFs::WriteFile(const std::string& path,
+                                   std::string_view data) {
+  int64_t partial = -1;
+  Status fault = Check(FsOp::kWriteFile, path, &partial);
+  if (fault.ok()) return base_->WriteFile(path, data);
+  if (partial >= 0) {
+    // A short write: the prefix reaches the disk, then the failure hits.
+    size_t n = std::min(static_cast<size_t>(partial), data.size());
+    (void)base_->WriteFile(path, data.substr(0, n));
+  }
+  return fault;
+}
+
+Status FaultInjectionFs::SyncFile(const std::string& path) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kSyncFile, path, &unused);
+  return fault.ok() ? base_->SyncFile(path) : fault;
+}
+
+Status FaultInjectionFs::Rename(const std::string& from,
+                                const std::string& to) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kRename, to, &unused);
+  return fault.ok() ? base_->Rename(from, to) : fault;
+}
+
+Status FaultInjectionFs::SyncDir(const std::string& dir) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kSyncDir, dir, &unused);
+  return fault.ok() ? base_->SyncDir(dir) : fault;
+}
+
+Status FaultInjectionFs::ReadFile(const std::string& path, std::string* out) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kReadFile, path, &unused);
+  return fault.ok() ? base_->ReadFile(path, out) : fault;
+}
+
+Status FaultInjectionFs::Remove(const std::string& path) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kRemove, path, &unused);
+  return fault.ok() ? base_->Remove(path) : fault;
+}
+
+bool FaultInjectionFs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionFs::ListDir(const std::string& dir,
+                                 std::vector<std::string>* names) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kListDir, dir, &unused);
+  return fault.ok() ? base_->ListDir(dir, names) : fault;
+}
+
+Status FaultInjectionFs::CreateDir(const std::string& path) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kCreateDir, path, &unused);
+  return fault.ok() ? base_->CreateDir(path) : fault;
+}
+
+Status FaultInjectionFs::LockFile(const std::string& path, int* handle) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kLock, path, &unused);
+  return fault.ok() ? base_->LockFile(path, handle) : fault;
+}
+
+void FaultInjectionFs::UnlockFile(int handle) { base_->UnlockFile(handle); }
+
+}  // namespace gordian

@@ -1,0 +1,144 @@
+#ifndef GORDIAN_SERVICE_FAULT_FS_H_
+#define GORDIAN_SERVICE_FAULT_FS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gordian {
+
+// The file-system operations the catalog store performs, named so a fault
+// can be aimed at exactly one step of the durable-save sequence
+// (write temp file -> fsync it -> rename over the final name -> fsync the
+// directory).
+enum class FsOp {
+  kWriteFile,
+  kSyncFile,
+  kRename,
+  kSyncDir,
+  kReadFile,
+  kRemove,
+  kListDir,
+  kLock,
+  kCreateDir,
+};
+
+const char* FsOpName(FsOp op);
+
+// Narrow file-system seam between the catalog store and the OS. Production
+// code uses DefaultFileSystem(); tests substitute FaultInjectionFs to make
+// crash points deterministic. Operations are path-based rather than
+// handle-based on purpose: every call is independently interceptable, and
+// the store's access pattern (whole-file writes and reads of small shard
+// files) never needs a seek.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Creates or truncates `path` with exactly `data`. No durability is
+  // implied until SyncFile succeeds.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  // fsyncs `path`'s contents to stable storage.
+  virtual Status SyncFile(const std::string& path) = 0;
+
+  // Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // fsyncs the directory itself, making completed renames durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // Replaces *out with the file's entire contents.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  // Plain file and directory names in `dir`, unordered, without "."/"..".
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names) = 0;
+
+  // mkdir; succeeds if the directory already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  // Takes an advisory exclusive lock on `path` (creating it if absent),
+  // failing fast — never blocking — when another holder exists. The lock
+  // lives until UnlockFile and is process-crash-safe (the OS drops it).
+  virtual Status LockFile(const std::string& path, int* handle) = 0;
+  virtual void UnlockFile(int handle) = 0;
+};
+
+// The real POSIX file system; a process-lifetime singleton.
+FileSystem* DefaultFileSystem();
+
+// A one-shot fault armed on a FaultInjectionFs. The fault fires on the
+// (countdown+1)-th call of `op` whose path contains `path_substr`.
+struct FaultSpec {
+  FsOp op = FsOp::kWriteFile;
+  std::string path_substr;  // empty matches every path
+  int countdown = 0;        // matching calls to let through first
+
+  // kWriteFile only: bytes that reach the disk before the failure (-1 =
+  // none). Models a short write, a torn page, or ENOSPC mid-file.
+  int64_t partial_bytes = -1;
+
+  std::string message = "injected fault";
+
+  // After the fault fires, every further mutating operation fails as well,
+  // as if the process died at the fault point: nothing later in the save
+  // sequence reaches the disk. Reads keep working so a test can inspect
+  // the post-crash state without swapping file systems.
+  bool halt_after = true;
+};
+
+// Wraps a base FileSystem and fails deterministically at an armed point.
+// Thread-safe; used by the crash-recovery matrix in
+// tests/catalog_store_test.cc.
+class FaultInjectionFs : public FileSystem {
+ public:
+  explicit FaultInjectionFs(FileSystem* base) : base_(base) {}
+
+  // Replaces any previously armed fault. Resets the fired/halted state.
+  void Arm(FaultSpec spec);
+
+  // Clears the armed fault and the halted state.
+  void Reset();
+
+  // True once the armed fault has triggered.
+  bool fired() const;
+
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status SyncFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Remove(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  Status CreateDir(const std::string& path) override;
+  Status LockFile(const std::string& path, int* handle) override;
+  void UnlockFile(int handle) override;
+
+ private:
+  // Decides, under the mutex, whether this call proceeds. Returns OK to
+  // proceed; otherwise the Status the operation must return.
+  // For kWriteFile faults with partial_bytes >= 0, *partial_bytes receives
+  // the prefix length to let through before failing.
+  Status Check(FsOp op, const std::string& path, int64_t* partial_bytes);
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool fired_ = false;
+  bool halted_ = false;
+  FaultSpec spec_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_SERVICE_FAULT_FS_H_

@@ -1,5 +1,6 @@
 #include "service/key_catalog.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -17,6 +18,7 @@ bool KeyCatalog::Put(uint64_t fingerprint, const std::string& table_name,
   Shard& shard = ShardFor(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.entries[fingerprint] = std::move(entry);
+  ++shard.version;
   return true;
 }
 
@@ -36,13 +38,18 @@ bool KeyCatalog::Contains(uint64_t fingerprint) const {
 bool KeyCatalog::Erase(uint64_t fingerprint) {
   Shard& shard = ShardFor(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.entries.erase(fingerprint) > 0;
+  if (shard.entries.erase(fingerprint) == 0) return false;
+  ++shard.version;
+  return true;
 }
 
 void KeyCatalog::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.entries.clear();
+    if (!shard.entries.empty()) {
+      shard.entries.clear();
+      ++shard.version;
+    }
   }
 }
 
@@ -62,6 +69,39 @@ std::vector<uint64_t> KeyCatalog::Fingerprints() const {
     for (const auto& [fp, entry] : shard.entries) out.push_back(fp);
   }
   return out;
+}
+
+std::vector<CatalogEntry> KeyCatalog::ShardSnapshot(int shard,
+                                                    uint64_t* version) const {
+  const Shard& s = shards_[shard];
+  std::vector<CatalogEntry> out;
+  std::lock_guard<std::mutex> lock(s.mu);
+  out.reserve(s.entries.size());
+  for (const auto& [fp, entry] : s.entries) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const CatalogEntry& a, const CatalogEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  if (version != nullptr) *version = s.version;
+  return out;
+}
+
+void KeyCatalog::ReplaceShard(int shard, std::vector<CatalogEntry> entries) {
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.entries.clear();
+  for (CatalogEntry& entry : entries) {
+    if (ShardIndexOf(entry.fingerprint) != shard) continue;
+    uint64_t fp = entry.fingerprint;
+    s.entries[fp] = std::move(entry);
+  }
+  ++s.version;
+}
+
+uint64_t KeyCatalog::ShardVersion(int shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.version;
 }
 
 namespace {
@@ -162,6 +202,75 @@ bool ReadAttrs(std::istream& is, int num_columns, AttributeSet* attrs) {
 
 }  // namespace
 
+void WriteCatalogEntryRecord(std::ostream& os, const CatalogEntry& entry) {
+  WriteU64(os, entry.fingerprint);
+  WriteStr(os, entry.table_name);
+  WriteU32(os, static_cast<uint32_t>(entry.num_columns));
+  uint8_t flags = 0;
+  if (entry.result.no_keys) flags |= 1;
+  if (entry.result.sampled) flags |= 2;
+  WriteU8(os, flags);
+  WriteU64(os, static_cast<uint64_t>(entry.result.stats.rows_processed));
+  WriteU32(os, static_cast<uint32_t>(entry.result.keys.size()));
+  for (const DiscoveredKey& k : entry.result.keys) {
+    WriteAttrs(os, k.attrs);
+    WriteDouble(os, k.estimated_strength);
+    WriteDouble(os, k.exact_strength);
+  }
+  WriteU32(os, static_cast<uint32_t>(entry.result.non_keys.size()));
+  for (const AttributeSet& nk : entry.result.non_keys) WriteAttrs(os, nk);
+}
+
+Status ReadCatalogEntryRecord(std::istream& is, CatalogEntry* out) {
+  CatalogEntry entry;
+  uint32_t num_columns;
+  uint8_t flags;
+  uint64_t rows;
+  if (!ReadU64(is, &entry.fingerprint) || !ReadStr(is, &entry.table_name) ||
+      !ReadU32(is, &num_columns) || !ReadU8(is, &flags) ||
+      !ReadU64(is, &rows)) {
+    return Status::InvalidArgument("truncated catalog entry");
+  }
+  if (flags > 3) return Status::InvalidArgument("corrupt entry flags");
+  if (num_columns > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
+    return Status::InvalidArgument("too many columns in catalog entry");
+  }
+  if (rows > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible row count");
+  }
+  entry.num_columns = static_cast<int>(num_columns);
+  entry.result.no_keys = (flags & 1) != 0;
+  entry.result.sampled = (flags & 2) != 0;
+  entry.result.stats.rows_processed = static_cast<int64_t>(rows);
+  entry.result.stats.num_attributes = entry.num_columns;
+
+  uint32_t num_keys;
+  if (!ReadU32(is, &num_keys) || num_keys > kMaxSetsPerEntry) {
+    return Status::InvalidArgument("corrupt key count");
+  }
+  entry.result.keys.resize(num_keys);
+  for (uint32_t k = 0; k < num_keys; ++k) {
+    DiscoveredKey& key = entry.result.keys[k];
+    if (!ReadAttrs(is, entry.num_columns, &key.attrs) ||
+        !ReadDouble(is, &key.estimated_strength) ||
+        !ReadDouble(is, &key.exact_strength)) {
+      return Status::InvalidArgument("corrupt key record");
+    }
+  }
+  uint32_t num_non_keys;
+  if (!ReadU32(is, &num_non_keys) || num_non_keys > kMaxSetsPerEntry) {
+    return Status::InvalidArgument("corrupt non-key count");
+  }
+  entry.result.non_keys.resize(num_non_keys);
+  for (uint32_t k = 0; k < num_non_keys; ++k) {
+    if (!ReadAttrs(is, entry.num_columns, &entry.result.non_keys[k])) {
+      return Status::InvalidArgument("corrupt non-key record");
+    }
+  }
+  *out = std::move(entry);
+  return Status::OK();
+}
+
 Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
   if (!os) return Status::IOError("cannot open " + path + " for writing");
@@ -178,26 +287,11 @@ Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path) {
   os.write(kMagic, 4);
   WriteU32(os, kFormatVersion);
   WriteU64(os, total);
-  auto write_entry = [&os](uint64_t fp, const CatalogEntry& entry) {
-    WriteU64(os, fp);
-    WriteStr(os, entry.table_name);
-    WriteU32(os, static_cast<uint32_t>(entry.num_columns));
-    uint8_t flags = 0;
-    if (entry.result.no_keys) flags |= 1;
-    if (entry.result.sampled) flags |= 2;
-    WriteU8(os, flags);
-    WriteU64(os, static_cast<uint64_t>(entry.result.stats.rows_processed));
-    WriteU32(os, static_cast<uint32_t>(entry.result.keys.size()));
-    for (const DiscoveredKey& k : entry.result.keys) {
-      WriteAttrs(os, k.attrs);
-      WriteDouble(os, k.estimated_strength);
-      WriteDouble(os, k.exact_strength);
-    }
-    WriteU32(os, static_cast<uint32_t>(entry.result.non_keys.size()));
-    for (const AttributeSet& nk : entry.result.non_keys) WriteAttrs(os, nk);
-  };
   for (const KeyCatalog::Shard& shard : catalog.shards_) {
-    for (const auto& [fp, entry] : shard.entries) write_entry(fp, entry);
+    for (const auto& [fp, entry] : shard.entries) {
+      (void)fp;  // entry.fingerprint is the same key, set by Put
+      WriteCatalogEntryRecord(os, entry);
+    }
   }
   if (!os) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -226,56 +320,18 @@ Status ReadCatalogFile(const std::string& path, KeyCatalog* out) {
   KeyCatalog loaded;
   for (uint64_t e = 0; e < num_entries; ++e) {
     CatalogEntry entry;
-    uint32_t num_columns;
-    uint8_t flags;
-    uint64_t rows;
-    if (!ReadU64(is, &entry.fingerprint) ||
-        !ReadStr(is, &entry.table_name) || !ReadU32(is, &num_columns) ||
-        !ReadU8(is, &flags) || !ReadU64(is, &rows)) {
-      return Status::InvalidArgument("truncated catalog entry");
-    }
-    if (flags > 3) return Status::InvalidArgument("corrupt entry flags");
-    if (num_columns > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
-      return Status::InvalidArgument("too many columns in catalog entry");
-    }
-    if (rows > (uint64_t{1} << 40)) {
-      return Status::InvalidArgument("implausible row count");
-    }
-    entry.num_columns = static_cast<int>(num_columns);
-    entry.result.no_keys = (flags & 1) != 0;
-    entry.result.sampled = (flags & 2) != 0;
-    entry.result.stats.rows_processed = static_cast<int64_t>(rows);
-    entry.result.stats.num_attributes = entry.num_columns;
-
-    uint32_t num_keys;
-    if (!ReadU32(is, &num_keys) || num_keys > kMaxSetsPerEntry) {
-      return Status::InvalidArgument("corrupt key count");
-    }
-    entry.result.keys.resize(num_keys);
-    for (uint32_t k = 0; k < num_keys; ++k) {
-      DiscoveredKey& key = entry.result.keys[k];
-      if (!ReadAttrs(is, entry.num_columns, &key.attrs) ||
-          !ReadDouble(is, &key.estimated_strength) ||
-          !ReadDouble(is, &key.exact_strength)) {
-        return Status::InvalidArgument("corrupt key record");
-      }
-    }
-    uint32_t num_non_keys;
-    if (!ReadU32(is, &num_non_keys) || num_non_keys > kMaxSetsPerEntry) {
-      return Status::InvalidArgument("corrupt non-key count");
-    }
-    entry.result.non_keys.resize(num_non_keys);
-    for (uint32_t k = 0; k < num_non_keys; ++k) {
-      if (!ReadAttrs(is, entry.num_columns, &entry.result.non_keys[k])) {
-        return Status::InvalidArgument("corrupt non-key record");
-      }
-    }
-    uint64_t fp = entry.fingerprint;
-    std::string name = entry.table_name;
-    int cols = entry.num_columns;
-    if (!loaded.Put(fp, name, cols, entry.result)) {
+    Status s = ReadCatalogEntryRecord(is, &entry);
+    if (!s.ok()) return s;
+    if (!loaded.Put(entry.fingerprint, entry.table_name, entry.num_columns,
+                    entry.result)) {
       return Status::InvalidArgument("corrupt catalog entry");
     }
+  }
+  // Every valid byte is accounted for above; a file that keeps going after
+  // the declared last entry was either mis-written or tampered with, and
+  // silently dropping the tail would mask both.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    return Status::InvalidArgument("trailing garbage after last catalog entry");
   }
 
   // `loaded` is private to this call, so its shards need no locking; the

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,16 @@ struct CatalogEntry {
 // references into its own storage, so readers and writers cannot alias.
 class KeyCatalog {
  public:
+  static constexpr int kNumShards = 16;
+
+  // Shard a fingerprint routes to: the top 4 bits (fingerprints are hashes,
+  // so the high bits are uniform). Exposed because the per-shard catalog
+  // store (service/catalog_store.h) names its files by shard index and
+  // validates that every loaded entry belongs to its file.
+  static int ShardIndexOf(uint64_t fingerprint) {
+    return static_cast<int>(fingerprint >> 60);
+  }
+
   KeyCatalog() = default;
 
   // Catalogs are plumbed by pointer (services, advisor); copying one would
@@ -63,20 +74,37 @@ class KeyCatalog {
   // All cached fingerprints, unordered.
   std::vector<uint64_t> Fingerprints() const;
 
+  // --- Per-shard access for the catalog store ---------------------------
+  //
+  // Each shard carries a version counter bumped by every mutation that
+  // touches it (Put, successful Erase, Clear, ReplaceShard). The store
+  // compares versions against what it last flushed — the dirty bit — so a
+  // warm Flush() skips clean shards without comparing bytes.
+
+  // Copies shard `shard`'s entries out, sorted by fingerprint (so a shard's
+  // serialized form is deterministic), along with its current version.
+  std::vector<CatalogEntry> ShardSnapshot(int shard,
+                                          uint64_t* version = nullptr) const;
+
+  // Replaces shard `shard`'s contents wholesale (catalog-store loads).
+  // Every entry must route to `shard`; entries that do not are skipped.
+  void ReplaceShard(int shard, std::vector<CatalogEntry> entries);
+
+  uint64_t ShardVersion(int shard) const;
+
  private:
   friend Status WriteCatalogFile(const KeyCatalog& catalog,
                                  const std::string& path);
   friend Status ReadCatalogFile(const std::string& path, KeyCatalog* out);
 
-  static constexpr int kNumShards = 16;
-
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, CatalogEntry> entries;
+    uint64_t version = 0;  // bumped under mu by every mutation
   };
 
   Shard& ShardFor(uint64_t fingerprint) const {
-    return shards_[fingerprint >> 60];  // top 4 bits -> 0..15
+    return shards_[ShardIndexOf(fingerprint)];
   }
 
   mutable std::array<Shard, kNumShards> shards_;
@@ -93,14 +121,29 @@ class KeyCatalog {
 //   non-keys (u32 count; per non-key: attribute list).
 //
 // Loading validates the magic, version, counts, attribute ordering and
-// range, and truncation, returning InvalidArgument rather than crashing on
-// corrupt input (the catalog fuzz tests exercise this).
+// range, truncation, and trailing bytes after the last entry, returning
+// InvalidArgument rather than crashing on corrupt input (the catalog fuzz
+// tests exercise this).
 
 // Writes the whole catalog to `path`, overwriting it.
 Status WriteCatalogFile(const KeyCatalog& catalog, const std::string& path);
 
 // Replaces *out's contents with the catalog stored at `path`.
 Status ReadCatalogFile(const std::string& path, KeyCatalog* out);
+
+// --- Entry wire codec --------------------------------------------------
+//
+// The per-entry record format is shared between the legacy single-file GRDC
+// format above and the per-shard files of service/catalog_store.h, so a
+// shard file is bit-compatible with the corresponding slice of a GRDC file.
+
+// Appends one entry record (fingerprint through non-key list) to `os`.
+void WriteCatalogEntryRecord(std::ostream& os, const CatalogEntry& entry);
+
+// Reads and fully validates one entry record: flags, plausibility-capped
+// counts, attribute ordering and range. Returns InvalidArgument on any
+// structural violation, including truncation mid-record.
+Status ReadCatalogEntryRecord(std::istream& is, CatalogEntry* entry);
 
 }  // namespace gordian
 

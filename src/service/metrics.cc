@@ -23,6 +23,15 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
   line("tree cache misses", s.tree_cache_misses);
   line("queue depth", s.queue_depth);
   line("running jobs", s.running_jobs);
+  if (s.catalog_flushes > 0 || s.shards_recovered > 0 ||
+      s.shards_quarantined > 0) {
+    line("catalog flushes", s.catalog_flushes);
+    line("shards flushed", s.shards_flushed);
+    line("dirty-shard skips", s.dirty_shard_skips);
+    line("flush bytes", s.catalog_flush_bytes);
+    line("shards recovered", s.shards_recovered);
+    line("shards quarantined", s.shards_quarantined);
+  }
   std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "cache hit rate",
                 s.cache_hit_rate() * 100);
   out += buf;

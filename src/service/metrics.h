@@ -28,6 +28,23 @@ class ServiceMetrics {
   void OnTreeCacheHit() { tree_cache_hits_.fetch_add(1, kRelaxed); }
   void OnTreeCacheMiss() { tree_cache_misses_.fetch_add(1, kRelaxed); }
 
+  // One CatalogStore::Flush: shards rewritten, clean shards skipped via
+  // their dirty bit, and payload bytes that went to disk (a fully warm
+  // flush reports 16 skips and zero bytes).
+  void OnCatalogFlush(int64_t shards_flushed, int64_t shards_skipped,
+                      int64_t bytes_written) {
+    catalog_flushes_.fetch_add(1, kRelaxed);
+    shards_flushed_.fetch_add(shards_flushed, kRelaxed);
+    dirty_shard_skips_.fetch_add(shards_skipped, kRelaxed);
+    catalog_flush_bytes_.fetch_add(bytes_written, kRelaxed);
+  }
+
+  // One CatalogStore::Open or Refresh recovery outcome.
+  void OnCatalogRecovery(int64_t shards_loaded, int64_t shards_quarantined) {
+    shards_recovered_.fetch_add(shards_loaded, kRelaxed);
+    shards_quarantined_.fetch_add(shards_quarantined, kRelaxed);
+  }
+
   // Accumulates one discovery run's per-stage wall clock (pipeline stage
   // names: encode, tree_build, traverse, convert, validate; anything else
   // lands in the "other" bucket).
@@ -60,6 +77,12 @@ class ServiceMetrics {
     int64_t coalesced_jobs = 0;
     int64_t tree_cache_hits = 0;
     int64_t tree_cache_misses = 0;
+    int64_t catalog_flushes = 0;
+    int64_t shards_flushed = 0;
+    int64_t dirty_shard_skips = 0;
+    int64_t catalog_flush_bytes = 0;
+    int64_t shards_recovered = 0;
+    int64_t shards_quarantined = 0;
     int64_t queue_depth = 0;    // filled in by the service, not a counter
     int64_t running_jobs = 0;   // likewise
     double total_latency_seconds = 0;
@@ -107,6 +130,12 @@ class ServiceMetrics {
     s.coalesced_jobs = coalesced_jobs_.load(kRelaxed);
     s.tree_cache_hits = tree_cache_hits_.load(kRelaxed);
     s.tree_cache_misses = tree_cache_misses_.load(kRelaxed);
+    s.catalog_flushes = catalog_flushes_.load(kRelaxed);
+    s.shards_flushed = shards_flushed_.load(kRelaxed);
+    s.dirty_shard_skips = dirty_shard_skips_.load(kRelaxed);
+    s.catalog_flush_bytes = catalog_flush_bytes_.load(kRelaxed);
+    s.shards_recovered = shards_recovered_.load(kRelaxed);
+    s.shards_quarantined = shards_quarantined_.load(kRelaxed);
     for (int i = 0; i < Snapshot::kNumStages; ++i) {
       s.stage_seconds[i] =
           static_cast<double>(stage_micros_[i].load(kRelaxed)) * 1e-6;
@@ -138,6 +167,12 @@ class ServiceMetrics {
   std::atomic<int64_t> coalesced_jobs_{0};
   std::atomic<int64_t> tree_cache_hits_{0};
   std::atomic<int64_t> tree_cache_misses_{0};
+  std::atomic<int64_t> catalog_flushes_{0};
+  std::atomic<int64_t> shards_flushed_{0};
+  std::atomic<int64_t> dirty_shard_skips_{0};
+  std::atomic<int64_t> catalog_flush_bytes_{0};
+  std::atomic<int64_t> shards_recovered_{0};
+  std::atomic<int64_t> shards_quarantined_{0};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_micros_{};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_runs_{};
   std::atomic<int64_t> total_latency_micros_{0};

@@ -14,9 +14,81 @@ ProfilingService::ProfilingService(ServiceOptions options)
                       ? std::make_unique<TreeArtifactCache>(
                             options.tree_cache_bytes)
                       : nullptr),
-      scheduler_(options.num_threads) {}
+      flush_every_puts_(options.flush_every_puts),
+      scheduler_(options.num_threads) {
+  if (!options.catalog_dir.empty()) {
+    CatalogStore::Options store_options;
+    store_options.mode = CatalogStore::Mode::kReadWrite;
+    store_options.fs = options.fs;
+    store_options.metrics = &metrics_;
+    catalog_store_ = std::make_unique<CatalogStore>(
+        options.catalog_dir, catalog_, store_options);
+    Status open_status = catalog_store_->Open(&recovery_report_);
+    persistence_status_ = open_status;
+    if (!open_status.ok() && !open_status.IsPartial()) {
+      // Unusable directory (most often: another writer holds the lease).
+      // The service still works, just without durability; callers that
+      // need the guarantee check persistence_status().
+      catalog_store_.reset();
+    } else if (flush_every_puts_ > 0) {
+      flusher_ = std::thread([this] { FlusherMain(); });
+    }
+  }
+}
 
-ProfilingService::~ProfilingService() = default;
+ProfilingService::~ProfilingService() {
+  // Drain jobs first: their bodies are what put entries into the catalog,
+  // and the final flush below must see all of them.
+  scheduler_.WaitAll();
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      stop_flusher_ = true;
+    }
+    flush_cv_.notify_one();
+    flusher_.join();
+  }
+  if (catalog_store_ != nullptr) (void)FlushCatalog();
+}
+
+Status ProfilingService::persistence_status() const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return persistence_status_;
+}
+
+Status ProfilingService::FlushCatalog() {
+  if (catalog_store_ == nullptr) return Status::OK();
+  Status s = catalog_store_->Flush(nullptr);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    persistence_status_ = s;
+  }
+  return s;
+}
+
+void ProfilingService::NotePut() {
+  if (catalog_store_ == nullptr || flush_every_puts_ <= 0) return;
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    wake = ++unflushed_puts_ >= flush_every_puts_;
+  }
+  if (wake) flush_cv_.notify_one();
+}
+
+void ProfilingService::FlusherMain() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    flush_cv_.wait(lock, [this] {
+      return stop_flusher_ || unflushed_puts_ >= flush_every_puts_;
+    });
+    if (stop_flusher_) return;  // the destructor runs the final flush
+    unflushed_puts_ = 0;
+    lock.unlock();
+    (void)FlushCatalog();
+    lock.lock();
+  }
+}
 
 GordianOptions ProfilingService::EffectiveOptions(
     const ProfileJobOptions& options, const JobContext& ctx) {
@@ -154,8 +226,10 @@ void ProfilingService::RunTableJob(Record* rec,
   // Incomplete results (budget, timeout, cancellation) certify nothing and
   // must not poison the catalog; Put would refuse them anyway.
   if (options.use_catalog && !rec->result.incomplete) {
-    catalog_->Put(rec->fingerprint, rec->name, table.num_columns(),
-                  rec->result);
+    if (catalog_->Put(rec->fingerprint, rec->name, table.num_columns(),
+                      rec->result)) {
+      NotePut();
+    }
   }
 }
 

@@ -1,15 +1,18 @@
 #ifndef GORDIAN_SERVICE_PROFILING_SERVICE_H_
 #define GORDIAN_SERVICE_PROFILING_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "core/gordian.h"
 #include "core/streaming.h"
+#include "service/catalog_store.h"
 #include "service/job_scheduler.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
@@ -34,6 +37,23 @@ struct ServiceOptions {
   // under different budgets/options skip BuildPrefixTree. 0 disables the
   // cache.
   int64_t tree_cache_bytes = TreeArtifactCache::kDefaultByteBudget;
+
+  // When non-empty, the catalog is durably backed by this directory through
+  // a CatalogStore: surviving shards load at construction (corrupt ones are
+  // quarantined — see persistence_status()), a background flusher rewrites
+  // dirty shards after every `flush_every_puts` catalog stores, and the
+  // destructor performs a final flush. The service holds the directory's
+  // writer lease for its lifetime, so a second service over the same
+  // directory must open it read-only via its own CatalogStore.
+  std::string catalog_dir;
+
+  // Catalog puts between background flushes; <= 0 flushes only at shutdown
+  // (and whenever FlushCatalog() is called).
+  int flush_every_puts = 32;
+
+  // File-system seam for the catalog store; null = the real one. Tests
+  // substitute a FaultInjectionFs.
+  FileSystem* fs = nullptr;
 };
 
 // Per-job knobs for a profiling submission.
@@ -129,6 +149,23 @@ class ProfilingService {
   // The catalog in use (the service's own, or ServiceOptions::catalog).
   KeyCatalog& catalog() { return *catalog_; }
 
+  // The durable store backing the catalog; null unless
+  // ServiceOptions::catalog_dir was set and its directory opened.
+  CatalogStore* catalog_store() { return catalog_store_.get(); }
+
+  // Health of the durable catalog: OK when persistence is off or everything
+  // has worked, Partial when recovery quarantined shards (the survivors are
+  // loaded), otherwise the error that disabled persistence at open or the
+  // most recent flush failure.
+  Status persistence_status() const;
+
+  // How recovery went at construction time (all zeros when persistence is
+  // off or the directory was fresh).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  // Synchronously rewrites dirty catalog shards. OK no-op without a store.
+  Status FlushCatalog();
+
   // The prefix-tree artifact cache; null when disabled
   // (ServiceOptions::tree_cache_bytes == 0).
   TreeArtifactCache* tree_cache() { return tree_cache_.get(); }
@@ -160,10 +197,26 @@ class ProfilingService {
   static GordianOptions EffectiveOptions(const ProfileJobOptions& options,
                                          const JobContext& ctx);
 
+  // Worker-side hook after a successful catalog Put: wakes the background
+  // flusher once enough puts have accumulated.
+  void NotePut();
+  void FlusherMain();
+
   std::unique_ptr<KeyCatalog> owned_catalog_;
   KeyCatalog* catalog_;
   std::unique_ptr<TreeArtifactCache> tree_cache_;
   ServiceMetrics metrics_;
+
+  // Durable catalog persistence (null / default-constructed when off).
+  std::unique_ptr<CatalogStore> catalog_store_;
+  RecoveryReport recovery_report_;
+  int flush_every_puts_ = 0;
+  mutable std::mutex flush_mu_;  // guards the three fields below
+  std::condition_variable flush_cv_;
+  Status persistence_status_;
+  int64_t unflushed_puts_ = 0;
+  bool stop_flusher_ = false;
+  std::thread flusher_;
 
   mutable std::mutex mu_;  // guards records_, inflight_, next_alias_id_
   std::map<JobId, std::shared_ptr<Record>> records_;

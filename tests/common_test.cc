@@ -174,5 +174,15 @@ TEST(Status, OkAndErrors) {
   EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
 }
 
+TEST(Status, PartialIsNotOkButDetectable) {
+  Status s = Status::Partial("3 of 16 shards quarantined");
+  EXPECT_FALSE(s.ok());  // strict callers reject partial results for free
+  EXPECT_TRUE(s.IsPartial());
+  EXPECT_FALSE(Status::OK().IsPartial());
+  EXPECT_FALSE(Status::IOError("x").IsPartial());
+  EXPECT_EQ(s.code(), Status::Code::kPartial);
+  EXPECT_EQ(s.ToString(), "Partial: 3 of 16 shards quarantined");
+}
+
 }  // namespace
 }  // namespace gordian

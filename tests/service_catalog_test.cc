@@ -229,6 +229,27 @@ TEST(KeyCatalog, TruncationAtEveryPrefixIsInvalidArgument) {
   }
 }
 
+TEST(KeyCatalog, TrailingGarbageIsRejected) {
+  KeyCatalog catalog;
+  Table t1, t2;
+  FillCatalog(&catalog, &t1, &t2);
+  std::string path = TempPath("trailing.grdc");
+  ASSERT_TRUE(WriteCatalogFile(catalog, path).ok());
+
+  // Bytes past the declared last entry used to be silently ignored, hiding
+  // both tampering and writer bugs; any non-empty tail must now fail.
+  const std::string clean = ReadFileBytes(path);
+  for (const std::string& tail : {std::string(1, '\0'), std::string("x"),
+                                  std::string(64, '\xff')}) {
+    WriteFileBytes(path, clean + tail);
+    KeyCatalog loaded;
+    Status s = ReadCatalogFile(path, &loaded);
+    EXPECT_EQ(s.code(), Status::Code::kInvalidArgument)
+        << "tail of " << tail.size() << " byte(s) loaded";
+    EXPECT_NE(s.ToString().find("trailing"), std::string::npos);
+  }
+}
+
 TEST(KeyCatalog, RandomByteMutationsNeverCrash) {
   KeyCatalog catalog;
   Table t1, t2;
