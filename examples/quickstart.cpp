@@ -11,23 +11,23 @@
 #include "table/table.h"
 
 int main() {
+  using gordian::BatchWriter;
   using gordian::Schema;
   using gordian::Table;
   using gordian::TableBuilder;
-  using gordian::Value;
 
-  // 1. Assemble the entity collection (any rows; values can be int64,
-  //    double, string, or NULL — they are dictionary-encoded internally).
+  // 1. Assemble the entity collection. BatchWriter packs appended rows
+  //    into columnar batches (ints, doubles, strings, or Values — they
+  //    are dictionary-encoded column-at-a-time internally).
   TableBuilder builder(Schema(std::vector<std::string>{
       "First Name", "Last Name", "Phone", "Emp No"}));
-  builder.AddRow({Value("Michael"), Value("Thompson"), Value(int64_t{3478}),
-                  Value(int64_t{10})});
-  builder.AddRow({Value("Michael"), Value("Thompson"), Value(int64_t{6791}),
-                  Value(int64_t{50})});
-  builder.AddRow({Value("Michael"), Value("Spencer"), Value(int64_t{5237}),
-                  Value(int64_t{20})});
-  builder.AddRow({Value("Sally"), Value("Kwan"), Value(int64_t{3478}),
-                  Value(int64_t{90})});
+  {
+    BatchWriter rows(&builder);
+    rows.Append("Michael", "Thompson", 3478, 10);
+    rows.Append("Michael", "Thompson", 6791, 50);
+    rows.Append("Michael", "Spencer", 5237, 20);
+    rows.Append("Sally", "Kwan", 3478, 90);
+  }  // flushes the final partial batch
   Table employees = builder.Build();
 
   // 2. Run GORDIAN. Default options enable every pruning and the

@@ -331,8 +331,9 @@ Status ProfileSession::Run(const Table& table, KeyDiscoveryResult* out) {
     m.name = stage->name();
     m.seconds = watch.ElapsedSeconds();
     // Dominant footprint per stage; see StageMetric.
-    if (m.name == "encode" && ctx.result.sampled) {
-      m.bytes = ctx.sample_storage.ApproxBytes();
+    if (m.name == "encode") {
+      m.rows = ctx.result.stats.rows_processed;
+      if (ctx.result.sampled) m.bytes = ctx.sample_storage.ApproxBytes();
     } else if (m.name == "tree_build" && ctx.tree != nullptr) {
       m.bytes = ctx.tree->pool().current_bytes();
     } else if (m.name == "traverse") {

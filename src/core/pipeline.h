@@ -28,14 +28,16 @@ namespace gordian {
 // job skip TreeBuildStage entirely). Results are byte-identical across all
 // composition paths and across serial/parallel traversal.
 
-// Wall time and bytes attributed to one executed stage. `bytes` is the
-// stage's dominant footprint: the sample's heap for encode, the tree pool
-// for build, worker pools + NonKeySet for traversal; 0 when nothing
-// meaningful applies.
+// Wall time, bytes, and rows attributed to one executed stage. `bytes` is
+// the stage's dominant footprint: the sample's heap for encode, the tree
+// pool for build, worker pools + NonKeySet for traversal; 0 when nothing
+// meaningful applies. `rows` is the row count the stage operated on (set by
+// encode: the rows actually profiled after sampling).
 struct StageMetric {
   std::string name;
   double seconds = 0;
   int64_t bytes = 0;
+  int64_t rows = 0;
 };
 
 // Shared state threaded through the stages of one profiling run. Owns the

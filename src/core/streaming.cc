@@ -1,12 +1,13 @@
 #include "core/streaming.h"
 
-#include "core/pipeline.h"
-#include "core/strength.h"
-
+#include <cassert>
 #include <fstream>
 #include <memory>
-
 #include <utility>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "core/strength.h"
 
 namespace gordian {
 
@@ -17,8 +18,108 @@ StreamingProfiler::StreamingProfiler(Schema schema, GordianOptions options)
       reservoir_capacity_(options_.sample_rows),
       rng_(options_.sample_seed) {
   if (reservoir_capacity_ > 0) {
-    reservoir_.reserve(static_cast<size_t>(reservoir_capacity_));
+    reservoir_codes_.reserve(static_cast<size_t>(
+        reservoir_capacity_ * schema_.num_columns()));
   }
+  ResetReservoir();
+}
+
+void StreamingProfiler::ResetReservoir() {
+  if (reservoir_capacity_ <= 0) return;
+  const int d = schema_.num_columns();
+  reservoir_rows_ = 0;
+  reservoir_codes_.clear();
+  reservoir_dicts_.clear();
+  reservoir_dicts_.reserve(static_cast<size_t>(d));
+  for (int c = 0; c < d; ++c) {
+    reservoir_dicts_.push_back(std::make_shared<Dictionary>());
+  }
+  code_refs_.assign(static_cast<size_t>(d), {});
+  live_codes_.assign(static_cast<size_t>(d), 0);
+}
+
+uint32_t StreamingProfiler::AcquireCode(int c, const Value& v) {
+  uint32_t code = reservoir_dicts_[static_cast<size_t>(c)]->Encode(v);
+  auto& refs = code_refs_[static_cast<size_t>(c)];
+  if (code >= refs.size()) refs.resize(code + 1, 0);
+  if (refs[code]++ == 0) ++live_codes_[static_cast<size_t>(c)];
+  return code;
+}
+
+uint32_t StreamingProfiler::AcquireCode(int c, const ColumnChunk& chunk,
+                                        int64_t i) {
+  Dictionary& dict = *reservoir_dicts_[static_cast<size_t>(c)];
+  uint32_t code;
+  switch (chunk.type(i)) {
+    case ValueType::kNull:
+      code = dict.EncodeNull();
+      break;
+    case ValueType::kInt64:
+      code = dict.Encode(chunk.int64_at(i));
+      break;
+    case ValueType::kDouble:
+      code = dict.Encode(chunk.double_at(i));
+      break;
+    default:
+      code = dict.Encode(chunk.string_at(i));
+      break;
+  }
+  auto& refs = code_refs_[static_cast<size_t>(c)];
+  if (code >= refs.size()) refs.resize(code + 1, 0);
+  if (refs[code]++ == 0) ++live_codes_[static_cast<size_t>(c)];
+  return code;
+}
+
+void StreamingProfiler::ReleaseRow(int64_t slot) {
+  const int d = schema_.num_columns();
+  for (int c = 0; c < d; ++c) {
+    uint32_t code = reservoir_codes_[static_cast<size_t>(slot * d + c)];
+    if (--code_refs_[static_cast<size_t>(c)][code] == 0) {
+      --live_codes_[static_cast<size_t>(c)];
+    }
+  }
+}
+
+void StreamingProfiler::MaybeCompactColumn(int c) {
+  Dictionary& dict = *reservoir_dicts_[static_cast<size_t>(c)];
+  const int64_t size = dict.size();
+  // Compact only once the dictionary is big enough to matter and at least
+  // half of it is dead — amortizes the O(live) rebuild against the evictions
+  // that made it necessary.
+  if (size < 1024) return;
+  const int64_t dead = size - live_codes_[static_cast<size_t>(c)];
+  if (dead * 2 < size) return;
+
+  auto fresh = std::make_shared<Dictionary>();
+  const auto& refs = code_refs_[static_cast<size_t>(c)];
+  std::vector<uint32_t> remap(static_cast<size_t>(size), UINT32_MAX);
+  std::vector<uint32_t> new_refs;
+  new_refs.reserve(static_cast<size_t>(live_codes_[static_cast<size_t>(c)]));
+  // Re-encode live values in old-code order: the fresh dictionary assigns
+  // 0,1,2,... so new_refs lines up with the new code space.
+  for (int64_t code = 0; code < size; ++code) {
+    if (refs[static_cast<size_t>(code)] == 0) continue;
+    remap[static_cast<size_t>(code)] =
+        fresh->Encode(dict.Decode(static_cast<uint32_t>(code)));
+    new_refs.push_back(refs[static_cast<size_t>(code)]);
+  }
+  const int d = schema_.num_columns();
+  for (int64_t r = 0; r < reservoir_rows_; ++r) {
+    uint32_t& cell = reservoir_codes_[static_cast<size_t>(r * d + c)];
+    cell = remap[cell];
+  }
+  reservoir_dicts_[static_cast<size_t>(c)] = std::move(fresh);
+  code_refs_[static_cast<size_t>(c)] = std::move(new_refs);
+}
+
+int64_t StreamingProfiler::ReservoirSlotForNextRow() {
+  // Vitter's Algorithm R: keep the first k rows, then replace a random
+  // reservoir slot with probability k / rows_seen. The draw sequence is
+  // identical for the row and batch ingest paths.
+  if (reservoir_rows_ < reservoir_capacity_) return reservoir_rows_;
+  int64_t j =
+      static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(rows_seen_)));
+  return j < reservoir_capacity_ ? j : -1;
 }
 
 void StreamingProfiler::AddRow(const std::vector<Value>& row) {
@@ -27,24 +128,83 @@ void StreamingProfiler::AddRow(const std::vector<Value>& row) {
     builder_.AddRow(row);
     return;
   }
-  // Vitter's Algorithm R: keep the first k rows, then replace a random
-  // reservoir slot with probability k / rows_seen.
-  if (static_cast<int64_t>(reservoir_.size()) < reservoir_capacity_) {
-    reservoir_.push_back(row);
-    return;
-  }
-  int64_t j = static_cast<int64_t>(
-      rng_.Uniform(static_cast<uint64_t>(rows_seen_)));
-  if (j < reservoir_capacity_) {
-    reservoir_[static_cast<size_t>(j)] = row;
+  int64_t slot = ReservoirSlotForNextRow();
+  if (slot < 0) return;
+  const int d = schema_.num_columns();
+  if (slot == reservoir_rows_) {
+    ++reservoir_rows_;
+    for (int c = 0; c < d; ++c) {
+      reservoir_codes_.push_back(AcquireCode(c, row[c]));
+    }
+  } else {
+    ReleaseRow(slot);
+    for (int c = 0; c < d; ++c) {
+      reservoir_codes_[static_cast<size_t>(slot * d + c)] =
+          AcquireCode(c, row[c]);
+    }
+    for (int c = 0; c < d; ++c) MaybeCompactColumn(c);
   }
 }
 
-KeyDiscoveryResult StreamingProfiler::Finish() {
-  if (reservoir_capacity_ > 0) {
-    for (const auto& row : reservoir_) builder_.AddRow(row);
+void StreamingProfiler::AddBatch(const RowBatch& batch) {
+  const int d = schema_.num_columns();
+  assert(batch.num_columns() == d);
+  const int64_t n = batch.num_rows();
+  if (reservoir_capacity_ <= 0) {
+    builder_.AddBatch(batch);
+    rows_seen_ += n;
+    return;
   }
-  Table data = builder_.Build();
+  for (int64_t i = 0; i < n; ++i) {
+    ++rows_seen_;
+    int64_t slot = ReservoirSlotForNextRow();
+    if (slot < 0) continue;
+    if (slot == reservoir_rows_) {
+      ++reservoir_rows_;
+      for (int c = 0; c < d; ++c) {
+        reservoir_codes_.push_back(AcquireCode(c, batch.column(c), i));
+      }
+    } else {
+      ReleaseRow(slot);
+      for (int c = 0; c < d; ++c) {
+        reservoir_codes_[static_cast<size_t>(slot * d + c)] =
+            AcquireCode(c, batch.column(c), i);
+      }
+      for (int c = 0; c < d; ++c) MaybeCompactColumn(c);
+    }
+  }
+}
+
+int64_t StreamingProfiler::ApproxBytes() const {
+  int64_t b = builder_.ApproxBytes();
+  b += static_cast<int64_t>(reservoir_codes_.capacity() * sizeof(uint32_t));
+  for (const auto& dict : reservoir_dicts_) b += dict->ApproxBytes();
+  for (const auto& refs : code_refs_) {
+    b += static_cast<int64_t>(refs.capacity() * sizeof(uint32_t));
+  }
+  return b;
+}
+
+KeyDiscoveryResult StreamingProfiler::Finish() {
+  Table data;
+  if (reservoir_capacity_ > 0) {
+    // Hand the reservoir's dictionaries and code matrix to a Table without
+    // re-encoding; codes need not be dense (compaction keeps them close).
+    const int d = schema_.num_columns();
+    std::vector<std::vector<uint32_t>> cols(static_cast<size_t>(d));
+    for (int c = 0; c < d; ++c) {
+      cols[static_cast<size_t>(c)].reserve(
+          static_cast<size_t>(reservoir_rows_));
+      for (int64_t r = 0; r < reservoir_rows_; ++r) {
+        cols[static_cast<size_t>(c)].push_back(
+            reservoir_codes_[static_cast<size_t>(r * d + c)]);
+      }
+    }
+    data = Table::FromColumns(schema_, std::move(reservoir_dicts_),
+                              std::move(cols));
+  } else {
+    data = builder_.Build();
+  }
 
   // Discovery itself must not sample again: the reservoir already did. The
   // run is the same staged pipeline FindKeys composes (core/pipeline.h).
@@ -66,54 +226,45 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
   // Reset for reuse. The PRNG is re-seeded too, so a reused profiler draws
   // the same reservoir as a freshly constructed one over the same stream.
   builder_ = TableBuilder(schema_);
-  reservoir_.clear();
+  ResetReservoir();
   rows_seen_ = 0;
   rng_ = Random(options_.sample_seed);
   return result;
 }
 
 Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
-                      const GordianOptions& options, KeyDiscoveryResult* out) {
+                      const GordianOptions& options, KeyDiscoveryResult* out,
+                      IngestStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
-  std::string line;
-  std::vector<std::string> fields;
-  std::unique_ptr<StreamingProfiler> profiler;
-  int num_cols = -1;
-  std::vector<Value> row;
-  int64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line == "\r") continue;
-    Status s = SplitCsvRecord(line, csv_options.delimiter, &fields);
+  CsvBatchReader reader(in, csv_options);
+  Status s = reader.Init();
+  if (!s.ok()) return s;
+  if (reader.num_columns() == 0) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (csv_options.encode_threads > 1) {
+    pool = std::make_unique<ThreadPool>(csv_options.encode_threads);
+  }
+  StreamingProfiler profiler(Schema(reader.column_names()), options);
+  RowBatch batch;
+  for (;;) {
+    s = reader.NextBatch(&batch, pool.get());
     if (!s.ok()) return s;
-    if (num_cols < 0) {
-      num_cols = static_cast<int>(fields.size());
-      std::vector<std::string> names;
-      if (csv_options.has_header) {
-        names = fields;
-      } else {
-        for (int i = 0; i < num_cols; ++i) {
-          names.push_back("c" + std::to_string(i));
-        }
-      }
-      profiler = std::make_unique<StreamingProfiler>(Schema(names), options);
-      if (csv_options.has_header) continue;
+    if (batch.num_rows() == 0) break;
+    profiler.AddBatch(batch);
+    if (stats != nullptr) {
+      ++stats->batches;
+      stats->rows += batch.num_rows();
+      stats->bytes += batch.ByteSize();
     }
-    if (static_cast<int>(fields.size()) != num_cols) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": ragged record");
-    }
-    row.clear();
-    for (const std::string& f : fields) {
-      row.push_back(ParseCsvField(f, csv_options.infer_types));
-    }
-    profiler->AddRow(row);
     // Ingest can dominate the wall clock on large files, so cancellation
-    // must be observable here, not just inside discovery. Amortized: the
-    // atomic load happens once every 4096 rows.
-    if ((line_no & 0xFFF) == 0 && options.cancel_flag != nullptr &&
+    // must be observable here, not just inside discovery. Amortized: one
+    // atomic load per ~4k-row batch.
+    if (options.cancel_flag != nullptr &&
         options.cancel_flag->load(std::memory_order_relaxed)) {
       *out = KeyDiscoveryResult{};
       out->incomplete = true;
@@ -121,10 +272,7 @@ Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
       return Status::OK();
     }
   }
-  if (profiler == nullptr) {
-    return Status::InvalidArgument("empty CSV file: " + path);
-  }
-  *out = profiler->Finish();
+  *out = profiler.Finish();
   return Status::OK();
 }
 

@@ -48,23 +48,22 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
         "player_id", "first_name", "last_name", "birth_year", "birth_city",
         "country", "bats", "throws", "height_cm", "weight_kg", "debut_year",
         "final_year", "position", "college", "draft_round", "nickname"}));
+    BatchWriter w(&b);
     for (int64_t p = 0; p < dims.players; ++p) {
       int64_t debut = kFirstYear + rng.UniformRange(0, kYears - 2);
-      b.AddRow({Value(p + 1), Value(GivenNameFor(Mix64(p) % 400)),
-                Value(SurnameFor(Mix64(p ^ 0xbbULL) % 2000)),
-                Value(debut - rng.UniformRange(18, 32)),
-                Value(CityFor(Mix64(p ^ 0x77ULL) % 300)),
-                Value(rng.Bernoulli(0.8) ? "Australia" : "New Zealand"),
-                Value(kHands[rng.UniformRange(0, 2)]),
-                Value(kHands[rng.UniformRange(0, 1)]),
-                Value(rng.UniformRange(165, 205)),
-                Value(rng.UniformRange(65, 115)), Value(debut),
-                Value(debut + rng.UniformRange(0, 15)),
-                Value(kPositions[rng.UniformRange(0, 9)]),
-                Value(CityFor(Mix64(p ^ 0x31ULL) % 60) + " College"),
-                Value(rng.UniformRange(1, 30)),
-                Value(GivenNameFor(Mix64(p ^ 0x99ULL) % 150))});
+      w.Append(p + 1, GivenNameFor(Mix64(p) % 400),
+               SurnameFor(Mix64(p ^ 0xbbULL) % 2000),
+               debut - rng.UniformRange(18, 32),
+               CityFor(Mix64(p ^ 0x77ULL) % 300),
+               rng.Bernoulli(0.8) ? "Australia" : "New Zealand",
+               kHands[rng.UniformRange(0, 2)], kHands[rng.UniformRange(0, 1)],
+               rng.UniformRange(165, 205), rng.UniformRange(65, 115), debut,
+               debut + rng.UniformRange(0, 15),
+               kPositions[rng.UniformRange(0, 9)],
+               CityFor(Mix64(p ^ 0x31ULL) % 60) + " College",
+               rng.UniformRange(1, 30), GivenNameFor(Mix64(p ^ 0x99ULL) % 150));
     }
+    w.Flush();
     db.push_back({"players", b.Build()});
   }
 
@@ -73,21 +72,21 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "team_id", "season", "name", "city", "division", "wins", "losses",
         "attendance", "manager_id", "stadium"}));
+    BatchWriter w(&b);
     int64_t id = 1;
     for (int y = 0; y < kYears; ++y) {
       for (int64_t t = 0; t < dims.teams; ++t) {
         int64_t wins = rng.UniformRange(30, 110);
-        b.AddRow({Value(id++), Value(int64_t{kFirstYear + y}),
-                  Value(CityFor(t * 7 % 200) + " " +
-                        SurnameFor(Mix64(t) % 500) + "s"),
-                  Value(CityFor(t * 7 % 200)),
-                  Value(kDivisions[t % 4]), Value(wins),
-                  Value(140 - wins > 0 ? 140 - wins : 30),
-                  Value(rng.UniformRange(100000, 2500000)),
-                  Value(rng.UniformRange(1, dims.players)),
-                  Value(CityFor(Mix64(t ^ 0x5fULL) % 200) + " Park")});
+        w.Append(id++, int64_t{kFirstYear + y},
+                 CityFor(t * 7 % 200) + " " + SurnameFor(Mix64(t) % 500) + "s",
+                 CityFor(t * 7 % 200), kDivisions[t % 4], wins,
+                 140 - wins > 0 ? 140 - wins : 30,
+                 rng.UniformRange(100000, 2500000),
+                 rng.UniformRange(1, dims.players),
+                 CityFor(Mix64(t ^ 0x5fULL) % 200) + " Park");
       }
     }
+    w.Flush();
     db.push_back({"teams", b.Build()});
   }
 
@@ -98,20 +97,21 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "season", "team_id", "player_id", "jersey_no", "salary",
         "starter_flag"}));
+    BatchWriter w(&b);
     for (int y = 0; y < kYears; ++y) {
       for (int64_t t = 0; t < dims.teams; ++t) {
         int64_t roster = std::min<int64_t>(dims.players, 25);
         for (int64_t s = 0; s < roster; ++s) {
           int64_t player =
               1 + Mix64(seed + y * 131 + t * 17 + s) % dims.players;
-          b.AddRow({Value(int64_t{kFirstYear + y}),
-                    Value(y * dims.teams + t + 1), Value(player),
-                    Value(rng.UniformRange(0, 99)),
-                    Value(rng.UniformRange(40000, 900000) / 100 * 100),
-                    Value(rng.Bernoulli(0.4) ? int64_t{1} : int64_t{0})});
+          w.Append(int64_t{kFirstYear + y}, y * dims.teams + t + 1, player,
+                   rng.UniformRange(0, 99),
+                   rng.UniformRange(40000, 900000) / 100 * 100,
+                   rng.Bernoulli(0.4) ? int64_t{1} : int64_t{0});
         }
       }
     }
+    w.Flush();
     db.push_back({"rosters", b.Build()});
   }
 
@@ -121,6 +121,7 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
         "player_id", "season", "stint", "team_id", "games", "at_bats",
         "runs", "hits", "doubles", "triples", "home_runs", "rbi", "steals",
         "walks", "strikeouts", "avg_x1000"}));
+    BatchWriter w(&b);
     for (int64_t p = 0; p < dims.players; ++p) {
       int seasons = 1 + static_cast<int>(rng.Uniform(10));
       for (int s = 0; s < seasons; ++s) {
@@ -129,22 +130,17 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
         for (int st = 1; st <= stints; ++st) {
           int64_t ab = rng.UniformRange(20, 550);
           int64_t hits = rng.UniformRange(0, ab / 3);
-          b.AddRow({Value(p + 1), Value(int64_t{kFirstYear + year}),
-                    Value(int64_t{st}),
-                    Value(rng.UniformRange(1, team_seasons)),
-                    Value(rng.UniformRange(5, 140)), Value(ab),
-                    Value(rng.UniformRange(0, 100)), Value(hits),
-                    Value(rng.UniformRange(0, hits / 3 + 1)),
-                    Value(rng.UniformRange(0, 10)),
-                    Value(rng.UniformRange(0, 45)),
-                    Value(rng.UniformRange(0, 120)),
-                    Value(rng.UniformRange(0, 60)),
-                    Value(rng.UniformRange(0, 90)),
-                    Value(rng.UniformRange(5, 160)),
-                    Value(ab > 0 ? hits * 1000 / ab : 0)});
+          w.Append(p + 1, int64_t{kFirstYear + year}, int64_t{st},
+                   rng.UniformRange(1, team_seasons), rng.UniformRange(5, 140),
+                   ab, rng.UniformRange(0, 100), hits,
+                   rng.UniformRange(0, hits / 3 + 1), rng.UniformRange(0, 10),
+                   rng.UniformRange(0, 45), rng.UniformRange(0, 120),
+                   rng.UniformRange(0, 60), rng.UniformRange(0, 90),
+                   rng.UniformRange(5, 160), ab > 0 ? hits * 1000 / ab : 0);
         }
       }
     }
+    w.Flush();
     db.push_back({"batting", b.Build()});
   }
 
@@ -154,20 +150,21 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
         "player_id", "season", "stint", "team_id", "wins", "losses",
         "games", "saves", "innings_outs", "earned_runs", "era_x100",
         "strikeouts", "walks"}));
+    BatchWriter w(&b);
     for (int64_t p = 0; p < dims.players; p += 4) {  // ~quarter are pitchers
       int seasons = 1 + static_cast<int>(rng.Uniform(8));
       for (int s = 0; s < seasons; ++s) {
         int year = static_cast<int>(rng.Uniform(kYears));
         int64_t outs = rng.UniformRange(30, 700);
         int64_t er = rng.UniformRange(0, outs / 8);
-        b.AddRow({Value(p + 1), Value(int64_t{kFirstYear + year}),
-                  Value(int64_t{1}), Value(rng.UniformRange(1, team_seasons)),
-                  Value(rng.UniformRange(0, 22)), Value(rng.UniformRange(0, 18)),
-                  Value(rng.UniformRange(3, 60)), Value(rng.UniformRange(0, 40)),
-                  Value(outs), Value(er), Value(er * 2700 / outs),
-                  Value(rng.UniformRange(5, 280)), Value(rng.UniformRange(2, 110))});
+        w.Append(p + 1, int64_t{kFirstYear + year}, int64_t{1},
+                 rng.UniformRange(1, team_seasons), rng.UniformRange(0, 22),
+                 rng.UniformRange(0, 18), rng.UniformRange(3, 60),
+                 rng.UniformRange(0, 40), outs, er, er * 2700 / outs,
+                 rng.UniformRange(5, 280), rng.UniformRange(2, 110));
       }
     }
+    w.Flush();
     db.push_back({"pitching", b.Build()});
   }
 
@@ -176,21 +173,21 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "season", "game_no", "date", "home_team", "away_team", "home_score",
         "away_score", "attendance", "duration_min", "extra_innings"}));
+    BatchWriter w(&b);
     for (int y = 0; y < kYears; ++y) {
       for (int64_t g = 0; g < dims.games_per_season; ++g) {
         int64_t home = rng.UniformRange(0, dims.teams - 1);
         int64_t away = (home + 1 + rng.UniformRange(0, dims.teams - 2)) %
                        dims.teams;
-        b.AddRow({Value(int64_t{kFirstYear + y}), Value(g + 1),
-                  Value(DateFor(y * 360 + (g * 180 / dims.games_per_season))),
-                  Value(y * dims.teams + home + 1),
-                  Value(y * dims.teams + away + 1),
-                  Value(rng.UniformRange(0, 15)), Value(rng.UniformRange(0, 15)),
-                  Value(rng.UniformRange(500, 45000)),
-                  Value(rng.UniformRange(120, 260)),
-                  Value(rng.Bernoulli(0.08) ? int64_t{1} : int64_t{0})});
+        w.Append(int64_t{kFirstYear + y}, g + 1,
+                 DateFor(y * 360 + (g * 180 / dims.games_per_season)),
+                 y * dims.teams + home + 1, y * dims.teams + away + 1,
+                 rng.UniformRange(0, 15), rng.UniformRange(0, 15),
+                 rng.UniformRange(500, 45000), rng.UniformRange(120, 260),
+                 rng.Bernoulli(0.08) ? int64_t{1} : int64_t{0});
       }
     }
+    w.Flush();
     db.push_back({"games", b.Build()});
   }
 
@@ -198,14 +195,15 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
   {
     TableBuilder b(Schema(std::vector<std::string>{
         "award", "season", "player_id", "votes", "unanimous"}));
+    BatchWriter w(&b);
     for (int y = 0; y < kYears; ++y) {
       for (int a = 0; a < 8; ++a) {
-        b.AddRow({Value(kAwards[a]), Value(int64_t{kFirstYear + y}),
-                  Value(rng.UniformRange(1, dims.players)),
-                  Value(rng.UniformRange(50, 400)),
-                  Value(rng.Bernoulli(0.05) ? int64_t{1} : int64_t{0})});
+        w.Append(kAwards[a], int64_t{kFirstYear + y},
+                 rng.UniformRange(1, dims.players), rng.UniformRange(50, 400),
+                 rng.Bernoulli(0.05) ? int64_t{1} : int64_t{0});
       }
     }
+    w.Flush();
     db.push_back({"awards", b.Build()});
   }
 
@@ -214,17 +212,19 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
   {
     TableBuilder b(Schema(std::vector<std::string>{
         "player_id", "ballot_year", "votes", "needed", "inducted"}));
+    BatchWriter w(&b);
     for (int64_t p = 0; p < dims.players / 10; ++p) {
       int64_t player = 1 + Mix64(seed ^ (p * 7919)) % dims.players;
       int ballots = 1 + static_cast<int>(rng.Uniform(5));
       int year0 = static_cast<int>(rng.Uniform(kYears - 5));
       for (int i = 0; i < ballots; ++i) {
-        b.AddRow({Value(player), Value(int64_t{kFirstYear + year0 + i}),
-                  Value(rng.UniformRange(10, 300)), Value(int64_t{225}),
-                  Value(i == ballots - 1 && rng.Bernoulli(0.4) ? int64_t{1}
-                                                               : int64_t{0})});
+        w.Append(player, int64_t{kFirstYear + year0 + i},
+                 rng.UniformRange(10, 300), int64_t{225},
+                 i == ballots - 1 && rng.Bernoulli(0.4) ? int64_t{1}
+                                                        : int64_t{0});
       }
     }
+    w.Flush();
     db.push_back({"hall_of_fame", b.Build()});
   }
 
@@ -233,19 +233,19 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "player_id", "season", "position", "games", "putouts", "assists",
         "errors", "double_plays"}));
+    BatchWriter w(&b);
     for (int64_t p = 0; p < dims.players; ++p) {
       int entries = 1 + static_cast<int>(rng.Uniform(4));
       for (int i = 0; i < entries; ++i) {
-        b.AddRow({Value(p + 1),
-                  Value(int64_t{kFirstYear +
-                                static_cast<int64_t>(rng.Uniform(kYears))}),
-                  Value(kPositions[(Mix64(p + i * 31) % 10)]),
-                  Value(rng.UniformRange(1, 140)),
-                  Value(rng.UniformRange(0, 400)),
-                  Value(rng.UniformRange(0, 300)), Value(rng.UniformRange(0, 25)),
-                  Value(rng.UniformRange(0, 40))});
+        int64_t season =
+            kFirstYear + static_cast<int64_t>(rng.Uniform(kYears));
+        w.Append(p + 1, season, kPositions[(Mix64(p + i * 31) % 10)],
+                 rng.UniformRange(1, 140), rng.UniformRange(0, 400),
+                 rng.UniformRange(0, 300), rng.UniformRange(0, 25),
+                 rng.UniformRange(0, 40));
       }
     }
+    w.Flush();
     db.push_back({"fielding", b.Build()});
   }
 
@@ -254,13 +254,15 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "team_id", "manager_name", "tenure_years", "career_wins",
         "former_player"}));
+    BatchWriter w(&b);
     for (int64_t t = 0; t < team_seasons; ++t) {
-      b.AddRow({Value(t + 1), Value(GivenNameFor(Mix64(t) % 300) + " " +
-                                    SurnameFor(Mix64(t ^ 0x13ULL) % 900)),
-                Value(rng.UniformRange(1, 20)),
-                Value(rng.UniformRange(0, 1500)),
-                Value(rng.Bernoulli(0.6) ? int64_t{1} : int64_t{0})});
+      w.Append(t + 1,
+               GivenNameFor(Mix64(t) % 300) + " " +
+                   SurnameFor(Mix64(t ^ 0x13ULL) % 900),
+               rng.UniformRange(1, 20), rng.UniformRange(0, 1500),
+               rng.Bernoulli(0.6) ? int64_t{1} : int64_t{0});
     }
+    w.Flush();
     db.push_back({"managers", b.Build()});
   }
 
@@ -268,14 +270,15 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
   {
     TableBuilder b(Schema(std::vector<std::string>{
         "season", "league_slot", "player_id", "position", "starter"}));
+    BatchWriter w(&b);
     for (int y = 0; y < kYears; ++y) {
       for (int s = 0; s < 30; ++s) {
-        b.AddRow({Value(int64_t{kFirstYear + y}), Value(int64_t{s + 1}),
-                  Value(rng.UniformRange(1, dims.players)),
-                  Value(kPositions[s % 10]),
-                  Value(s < 10 ? int64_t{1} : int64_t{0})});
+        w.Append(int64_t{kFirstYear + y}, int64_t{s + 1},
+                 rng.UniformRange(1, dims.players), kPositions[s % 10],
+                 s < 10 ? int64_t{1} : int64_t{0});
       }
     }
+    w.Flush();
     db.push_back({"all_star", b.Build()});
   }
 
@@ -284,19 +287,19 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
     TableBuilder b(Schema(std::vector<std::string>{
         "season", "round", "game_in_round", "home_team", "away_team",
         "home_score", "away_score"}));
+    BatchWriter w(&b);
     for (int y = 0; y < kYears; ++y) {
       for (int round = 1; round <= 3; ++round) {
         int games = 3 + static_cast<int>(rng.Uniform(4));
         for (int g = 1; g <= games; ++g) {
-          b.AddRow({Value(int64_t{kFirstYear + y}), Value(int64_t{round}),
-                    Value(int64_t{g}),
-                    Value(y * dims.teams + rng.UniformRange(1, dims.teams)),
-                    Value(y * dims.teams + rng.UniformRange(1, dims.teams)),
-                    Value(rng.UniformRange(0, 12)),
-                    Value(rng.UniformRange(0, 12))});
+          w.Append(int64_t{kFirstYear + y}, int64_t{round}, int64_t{g},
+                   y * dims.teams + rng.UniformRange(1, dims.teams),
+                   y * dims.teams + rng.UniformRange(1, dims.teams),
+                   rng.UniformRange(0, 12), rng.UniformRange(0, 12));
         }
       }
     }
+    w.Flush();
     db.push_back({"playoffs", b.Build()});
   }
 

@@ -43,14 +43,20 @@ uint64_t IndexPermutation::Map(uint64_t i) const {
 
 namespace {
 
-Value RenderValue(const SyntheticColumn& col, uint64_t rank) {
+void AppendRendered(const SyntheticColumn& col, uint64_t rank,
+                    ColumnChunk* chunk, std::string* scratch) {
   if (col.kind == SyntheticColumn::Kind::kString) {
     // Deterministic synthetic token; the salt decorrelates equal ranks in
     // different columns.
-    return Value("w" + std::to_string(rank) + "-" +
-                 std::to_string(Mix64(rank ^ HashBytes(col.name)) % 997));
+    scratch->clear();
+    *scratch += 'w';
+    *scratch += std::to_string(rank);
+    *scratch += '-';
+    *scratch += std::to_string(Mix64(rank ^ HashBytes(col.name)) % 997);
+    chunk->AppendString(*scratch);
+    return;
   }
-  return Value(static_cast<int64_t>(rank));
+  chunk->AppendInt64(static_cast<int64_t>(rank));
 }
 
 }  // namespace
@@ -132,7 +138,8 @@ Status GenerateSynthetic(const SyntheticSpec& spec, Table* out) {
   if (dedupe) seen_rows.reserve(static_cast<size_t>(spec.num_rows));
 
   std::vector<uint64_t> ranks(d);
-  std::vector<Value> row(d);
+  RowBatch batch(d);
+  std::string scratch;
   for (int64_t r = 0; r < spec.num_rows; ++r) {
     constexpr int kMaxAttempts = 256;
     int attempt = 0;
@@ -166,9 +173,15 @@ Status GenerateSynthetic(const SyntheticSpec& spec, Table* out) {
             "cannot generate enough distinct rows; value space too small");
       }
     }
-    for (int c = 0; c < d; ++c) row[c] = RenderValue(spec.columns[c], ranks[c]);
-    builder.AddRow(row);
+    for (int c = 0; c < d; ++c) {
+      AppendRendered(spec.columns[c], ranks[c], &batch.column(c), &scratch);
+    }
+    if (batch.full()) {
+      builder.AddBatch(batch);
+      batch.Clear();
+    }
   }
+  if (batch.num_rows() > 0) builder.AddBatch(batch);
   *out = builder.Build();
   return Status::OK();
 }

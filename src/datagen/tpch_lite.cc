@@ -41,19 +41,22 @@ int64_t PriceCents(Random& rng, int64_t lo, int64_t hi) {
 Table BuildRegion() {
   TableBuilder b(Schema(std::vector<std::string>{
       "r_regionkey", "r_name", "r_comment"}));
+  BatchWriter w(&b);
   for (int64_t r = 0; r < 5; ++r) {
-    b.AddRow({Value(r), Value(kRegions[r]), Value(CommentFor(900 + r, 6))});
+    w.Append(r, kRegions[r], CommentFor(900 + r, 6));
   }
+  w.Flush();
   return b.Build();
 }
 
 Table BuildNation() {
   TableBuilder b(Schema(std::vector<std::string>{
       "n_nationkey", "n_name", "n_regionkey", "n_comment"}));
+  BatchWriter w(&b);
   for (int64_t n = 0; n < 25; ++n) {
-    b.AddRow({Value(n), Value(kNations[n]), Value(n % 5),
-              Value(CommentFor(700 + n, 8))});
+    w.Append(n, kNations[n], n % 5, CommentFor(700 + n, 8));
   }
+  w.Flush();
   return b.Build();
 }
 
@@ -61,16 +64,17 @@ Table BuildSupplier(int64_t count, Random& rng) {
   TableBuilder b(Schema(std::vector<std::string>{
       "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
       "s_acctbal", "s_comment"}));
+  BatchWriter w(&b);
   for (int64_t s = 0; s < count; ++s) {
     int64_t nation = rng.UniformRange(0, 24);
-    b.AddRow({Value(s + 1), Value("Supplier#" + std::to_string(s + 1)),
-              Value(CityFor(Mix64(s) % 4096)), Value(nation),
-              Value(std::to_string(10 + nation) + "-" +
-                    std::to_string(100 + rng.UniformRange(0, 899)) + "-" +
-                    std::to_string(1000 + rng.UniformRange(0, 8999))),
-              Value(PriceCents(rng, -99999, 999999)),
-              Value(CommentFor(rng.Next(), 10))});
+    w.Append(s + 1, "Supplier#" + std::to_string(s + 1),
+             CityFor(Mix64(s) % 4096), nation,
+             std::to_string(10 + nation) + "-" +
+                 std::to_string(100 + rng.UniformRange(0, 899)) + "-" +
+                 std::to_string(1000 + rng.UniformRange(0, 8999)),
+             PriceCents(rng, -99999, 999999), CommentFor(rng.Next(), 10));
   }
+  w.Flush();
   return b.Build();
 }
 
@@ -78,16 +82,17 @@ Table BuildPart(int64_t count, Random& rng) {
   TableBuilder b(Schema(std::vector<std::string>{
       "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
       "p_container", "p_retailprice", "p_comment"}));
+  BatchWriter w(&b);
   for (int64_t p = 0; p < count; ++p) {
     int64_t mfgr = 1 + rng.UniformRange(0, 4);
-    b.AddRow({Value(p + 1), Value(CommentFor(Mix64(p ^ 0xabULL), 4)),
-              Value("Manufacturer#" + std::to_string(mfgr)),
-              Value(BrandFor(mfgr * 10 + rng.UniformRange(0, 9))),
-              Value(kTypes[rng.UniformRange(0, 7)]),
-              Value(rng.UniformRange(1, 50)),
-              Value(kContainers[rng.UniformRange(0, 7)]),
-              Value(90000 + (p % 200001)), Value(CommentFor(rng.Next(), 6))});
+    w.Append(p + 1, CommentFor(Mix64(p ^ 0xabULL), 4),
+             "Manufacturer#" + std::to_string(mfgr),
+             BrandFor(mfgr * 10 + rng.UniformRange(0, 9)),
+             kTypes[rng.UniformRange(0, 7)], rng.UniformRange(1, 50),
+             kContainers[rng.UniformRange(0, 7)], 90000 + (p % 200001),
+             CommentFor(rng.Next(), 6));
   }
+  w.Flush();
   return b.Build();
 }
 
@@ -95,15 +100,16 @@ Table BuildPartsupp(int64_t parts, int64_t supps, Random& rng) {
   TableBuilder b(Schema(std::vector<std::string>{
       "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
       "ps_comment"}));
+  BatchWriter w(&b);
   for (int64_t p = 0; p < parts; ++p) {
     for (int i = 0; i < 4; ++i) {
       // The standard supplier spreading: four distinct suppliers per part.
       int64_t s = (p + i * (supps / 4 + 1)) % supps;
-      b.AddRow({Value(p + 1), Value(s + 1), Value(rng.UniformRange(1, 9999)),
-                Value(PriceCents(rng, 100, 100000)),
-                Value(CommentFor(rng.Next(), 12))});
+      w.Append(p + 1, s + 1, rng.UniformRange(1, 9999),
+               PriceCents(rng, 100, 100000), CommentFor(rng.Next(), 12));
     }
   }
+  w.Flush();
   return b.Build();
 }
 
@@ -111,16 +117,17 @@ Table BuildCustomer(int64_t count, Random& rng) {
   TableBuilder b(Schema(std::vector<std::string>{
       "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
       "c_acctbal", "c_mktsegment", "c_comment"}));
+  BatchWriter w(&b);
   for (int64_t c = 0; c < count; ++c) {
     int64_t nation = rng.UniformRange(0, 24);
-    b.AddRow({Value(c + 1), Value("Customer#" + std::to_string(c + 1)),
-              Value(CityFor(Mix64(c ^ 0xcc) % 8192)), Value(nation),
-              Value(std::to_string(10 + nation) + "-" +
-                    std::to_string(1000 + rng.UniformRange(0, 8999))),
-              Value(PriceCents(rng, -99999, 999999)),
-              Value(kSegments[rng.UniformRange(0, 4)]),
-              Value(CommentFor(rng.Next(), 9))});
+    w.Append(c + 1, "Customer#" + std::to_string(c + 1),
+             CityFor(Mix64(c ^ 0xcc) % 8192), nation,
+             std::to_string(10 + nation) + "-" +
+                 std::to_string(1000 + rng.UniformRange(0, 8999)),
+             PriceCents(rng, -99999, 999999), kSegments[rng.UniformRange(0, 4)],
+             CommentFor(rng.Next(), 9));
   }
+  w.Flush();
   return b.Build();
 }
 
@@ -147,18 +154,19 @@ std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed) {
         "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
         "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
         "o_comment"}));
+    BatchWriter w(&b);
     for (int64_t o = 0; o < orders; ++o) {
       int64_t okey = (o / 8) * 32 + (o % 8) + 1;  // sparse key space
       int64_t date_off = rng.UniformRange(0, 2400);
       const char* status = date_off < 800 ? "F" : (date_off < 1600 ? "P" : "O");
-      b.AddRow({Value(okey), Value(rng.UniformRange(1, custs)),
-                Value(status), Value(PriceCents(rng, 90000, 50000000)),
-                Value(DateFor(date_off)),
-                Value(kPriorities[rng.UniformRange(0, 4)]),
-                Value("Clerk#" + std::to_string(rng.UniformRange(
-                                     1, std::max<int64_t>(2, orders / 1000)))),
-                Value(int64_t{0}), Value(CommentFor(rng.Next(), 8))});
+      w.Append(okey, rng.UniformRange(1, custs), status,
+               PriceCents(rng, 90000, 50000000), DateFor(date_off),
+               kPriorities[rng.UniformRange(0, 4)],
+               "Clerk#" + std::to_string(rng.UniformRange(
+                              1, std::max<int64_t>(2, orders / 1000))),
+               int64_t{0}, CommentFor(rng.Next(), 8));
     }
+    w.Flush();
     db.push_back({"orders", b.Build()});
   }
 
@@ -169,6 +177,7 @@ std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed) {
         "l_extendedprice", "l_discount", "l_tax", "l_returnflag",
         "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
         "l_shipinstruct", "l_shipmode", "l_comment"}));
+    BatchWriter w(&b);
     for (int64_t o = 0; o < orders; ++o) {
       int64_t okey = (o / 8) * 32 + (o % 8) + 1;
       int64_t lines = 1 + rng.UniformRange(0, 6);
@@ -176,19 +185,17 @@ std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed) {
         int64_t part = rng.UniformRange(1, parts);
         int64_t ship = rng.UniformRange(1, 2500);
         const char* rflag = ship < 900 ? "R" : (ship < 1200 ? "A" : "N");
-        b.AddRow({Value(okey), Value(part),
-                  Value(1 + (part + l * (supps / 4 + 1)) % supps),
-                  Value(l + 1), Value(rng.UniformRange(1, 50)),
-                  Value(PriceCents(rng, 90000, 10000000)),
-                  Value(rng.UniformRange(0, 10)), Value(rng.UniformRange(0, 8)),
-                  Value(rflag), Value(ship < 1200 ? "F" : "O"),
-                  Value(DateFor(ship)), Value(DateFor(ship + rng.UniformRange(-30, 30))),
-                  Value(DateFor(ship + rng.UniformRange(1, 30))),
-                  Value(kInstructs[rng.UniformRange(0, 3)]),
-                  Value(kShipModes[rng.UniformRange(0, 6)]),
-                  Value(CommentFor(rng.Next(), 5))});
+        w.Append(okey, part, 1 + (part + l * (supps / 4 + 1)) % supps, l + 1,
+                 rng.UniformRange(1, 50), PriceCents(rng, 90000, 10000000),
+                 rng.UniformRange(0, 10), rng.UniformRange(0, 8), rflag,
+                 ship < 1200 ? "F" : "O", DateFor(ship),
+                 DateFor(ship + rng.UniformRange(-30, 30)),
+                 DateFor(ship + rng.UniformRange(1, 30)),
+                 kInstructs[rng.UniformRange(0, 3)],
+                 kShipModes[rng.UniformRange(0, 6)], CommentFor(rng.Next(), 5));
       }
     }
+    w.Flush();
     db.push_back({"lineitem", b.Build()});
   }
   return db;
@@ -209,6 +216,7 @@ Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
   int64_t order = 1;
   int64_t line = 1;
   int64_t lines_in_order = 1 + rng.UniformRange(0, 6);
+  BatchWriter w(&b);
   for (int64_t r = 0; r < num_rows; ++r) {
     if (line > lines_in_order) {
       ++order;
@@ -218,18 +226,17 @@ Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
     int64_t cust = 1 + Mix64(order * 2654435761ULL) % custs;
     int64_t ship = rng.UniformRange(0, 2500);
     const char* rflag = ship < 900 ? "R" : (ship < 1200 ? "A" : "N");
-    b.AddRow({Value(r + 1), Value(order), Value(line), Value(cust),
-              Value(rng.UniformRange(1, parts)), Value(rng.UniformRange(1, supps)),
-              Value(rng.UniformRange(1, 50)),
-              Value(PriceCents(rng, 90000, 10000000)),
-              Value(rng.UniformRange(0, 10)), Value(rng.UniformRange(0, 8)),
-              Value(rflag), Value(ship < 1200 ? "F" : "O"),
-              Value(DateFor(ship)), Value(kShipModes[rng.UniformRange(0, 6)]),
-              Value(static_cast<int64_t>(Mix64(cust) % 25)),
-              Value(kSegments[Mix64(cust ^ 0x5e9) % 5]),
-              Value(kPriorities[rng.UniformRange(0, 4)])});
+    w.Append(r + 1, order, line, cust, rng.UniformRange(1, parts),
+             rng.UniformRange(1, supps), rng.UniformRange(1, 50),
+             PriceCents(rng, 90000, 10000000), rng.UniformRange(0, 10),
+             rng.UniformRange(0, 8), rflag, ship < 1200 ? "F" : "O",
+             DateFor(ship), kShipModes[rng.UniformRange(0, 6)],
+             static_cast<int64_t>(Mix64(cust) % 25),
+             kSegments[Mix64(cust ^ 0x5e9) % 5],
+             kPriorities[rng.UniformRange(0, 4)]);
     ++line;
   }
+  w.Flush();
   return b.Build();
 }
 

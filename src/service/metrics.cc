@@ -32,6 +32,11 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
     line("shards recovered", s.shards_recovered);
     line("shards quarantined", s.shards_quarantined);
   }
+  if (s.ingest_batches > 0) {
+    line("ingest batches", s.ingest_batches);
+    line("ingest rows", s.ingest_rows);
+    line("ingest bytes", s.ingest_bytes);
+  }
   std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "cache hit rate",
                 s.cache_hit_rate() * 100);
   out += buf;

@@ -45,6 +45,14 @@ class ServiceMetrics {
     shards_quarantined_.fetch_add(shards_quarantined, kRelaxed);
   }
 
+  // One CSV ingest's batch accounting (see IngestStats): RowBatches
+  // scanned, rows they carried, and their columnar payload bytes.
+  void OnIngest(int64_t batches, int64_t rows, int64_t bytes) {
+    ingest_batches_.fetch_add(batches, kRelaxed);
+    ingest_rows_.fetch_add(rows, kRelaxed);
+    ingest_bytes_.fetch_add(bytes, kRelaxed);
+  }
+
   // Accumulates one discovery run's per-stage wall clock (pipeline stage
   // names: encode, tree_build, traverse, convert, validate; anything else
   // lands in the "other" bucket).
@@ -83,6 +91,9 @@ class ServiceMetrics {
     int64_t catalog_flush_bytes = 0;
     int64_t shards_recovered = 0;
     int64_t shards_quarantined = 0;
+    int64_t ingest_batches = 0;
+    int64_t ingest_rows = 0;
+    int64_t ingest_bytes = 0;
     int64_t queue_depth = 0;    // filled in by the service, not a counter
     int64_t running_jobs = 0;   // likewise
     double total_latency_seconds = 0;
@@ -136,6 +147,9 @@ class ServiceMetrics {
     s.catalog_flush_bytes = catalog_flush_bytes_.load(kRelaxed);
     s.shards_recovered = shards_recovered_.load(kRelaxed);
     s.shards_quarantined = shards_quarantined_.load(kRelaxed);
+    s.ingest_batches = ingest_batches_.load(kRelaxed);
+    s.ingest_rows = ingest_rows_.load(kRelaxed);
+    s.ingest_bytes = ingest_bytes_.load(kRelaxed);
     for (int i = 0; i < Snapshot::kNumStages; ++i) {
       s.stage_seconds[i] =
           static_cast<double>(stage_micros_[i].load(kRelaxed)) * 1e-6;
@@ -173,6 +187,9 @@ class ServiceMetrics {
   std::atomic<int64_t> catalog_flush_bytes_{0};
   std::atomic<int64_t> shards_recovered_{0};
   std::atomic<int64_t> shards_quarantined_{0};
+  std::atomic<int64_t> ingest_batches_{0};
+  std::atomic<int64_t> ingest_rows_{0};
+  std::atomic<int64_t> ingest_bytes_{0};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_micros_{};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_runs_{};
   std::atomic<int64_t> total_latency_micros_{0};

@@ -239,9 +239,11 @@ void ProfilingService::RunCsvJob(Record* rec, const std::string& path,
                                  const JobContext& ctx) {
   rec->started = true;
   KeyDiscoveryResult result;
+  IngestStats ingest;
   Status s =
       ProfileCsvFile(path, csv_options, EffectiveOptions(options, ctx),
-                     &result);
+                     &result, &ingest);
+  metrics_.OnIngest(ingest.batches, ingest.rows, ingest.bytes);
   if (!s.ok()) throw std::runtime_error(s.ToString());
   rec->result = std::move(result);
 }

@@ -1,0 +1,43 @@
+#include "table/column_chunk.h"
+
+namespace gordian {
+
+void ColumnChunk::AppendValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      AppendNull();
+      break;
+    case ValueType::kInt64:
+      AppendInt64(v.int64());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.dbl());
+      break;
+    case ValueType::kString:
+      AppendString(v.str());
+      break;
+  }
+}
+
+Value ColumnChunk::ValueAt(int64_t i) const {
+  switch (type(i)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64:
+      return Value(int64_at(i));
+    case ValueType::kDouble:
+      return Value(double_at(i));
+    case ValueType::kString:
+      return Value(std::string(string_at(i)));
+  }
+  return Value::Null();
+}
+
+void RowBatch::AppendRow(const std::vector<Value>& row) {
+  assert(row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendValue(row[c]);
+  }
+}
+
+}  // namespace gordian

@@ -2,8 +2,11 @@
 #define GORDIAN_TABLE_DICTIONARY_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "table/column_chunk.h"
 #include "table/value.h"
 
 namespace gordian {
@@ -16,23 +19,86 @@ namespace gordian {
 // an open-addressed table of codes probed by Value::Hash() and resolved by
 // comparing against `values_[code]`. This halves dictionary memory versus
 // keeping a second Value copy inside a map key.
+//
+// The typed Encode overloads and EncodeBatch are the vectorized ingest
+// path: they probe with the same per-type hashes Value::Hash() composes
+// (Value::HashOf), so a value reaches the same slot — and therefore the
+// same code — whether it arrives as a Value or as a raw int64/double/
+// string_view. A Value is only constructed when the probe misses and the
+// value is genuinely new.
 class Dictionary {
  public:
   // Returns the code for `v`, inserting it if new.
   uint32_t Encode(const Value& v) {
-    if (values_.size() + 1 > (slots_.size() * 7) / 10) Rehash();
-    size_t i = Probe(v);
+    MaybeRehash();
+    size_t i = Probe(v.Hash(), [&](const Value& u) { return u == v; });
     if (slots_[i] != kEmpty) return slots_[i];
-    uint32_t code = static_cast<uint32_t>(values_.size());
-    values_.push_back(v);
-    slots_[i] = code;
-    return code;
+    return Insert(i, Value(v));
+  }
+
+  uint32_t EncodeNull() {
+    MaybeRehash();
+    size_t i = Probe(Value::NullHash(),
+                     [](const Value& u) { return u.is_null(); });
+    if (slots_[i] != kEmpty) return slots_[i];
+    return Insert(i, Value::Null());
+  }
+
+  uint32_t Encode(int64_t v) {
+    MaybeRehash();
+    size_t i = Probe(Value::HashOf(v), [&](const Value& u) {
+      return u.type() == ValueType::kInt64 && u.int64() == v;
+    });
+    if (slots_[i] != kEmpty) return slots_[i];
+    return Insert(i, Value(v));
+  }
+
+  uint32_t Encode(double v) {
+    MaybeRehash();
+    size_t i = Probe(Value::HashOf(v), [&](const Value& u) {
+      return u.type() == ValueType::kDouble && u.dbl() == v;
+    });
+    if (slots_[i] != kEmpty) return slots_[i];
+    return Insert(i, Value(v));
+  }
+
+  uint32_t Encode(std::string_view v) {
+    MaybeRehash();
+    size_t i = Probe(Value::HashOf(v), [&](const Value& u) {
+      return u.type() == ValueType::kString && u.str() == v;
+    });
+    if (slots_[i] != kEmpty) return slots_[i];
+    return Insert(i, Value(std::string(v)));
+  }
+
+  // Encodes every entry of `chunk` in order, appending one code per entry
+  // to *codes. Equivalent to (and code-for-code identical with) calling the
+  // row-at-a-time Encode on each materialized Value.
+  void EncodeBatch(const ColumnChunk& chunk, std::vector<uint32_t>* codes) {
+    const int64_t n = chunk.size();
+    codes->reserve(codes->size() + static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      switch (chunk.type(i)) {
+        case ValueType::kNull:
+          codes->push_back(EncodeNull());
+          break;
+        case ValueType::kInt64:
+          codes->push_back(Encode(chunk.int64_at(i)));
+          break;
+        case ValueType::kDouble:
+          codes->push_back(Encode(chunk.double_at(i)));
+          break;
+        case ValueType::kString:
+          codes->push_back(Encode(chunk.string_at(i)));
+          break;
+      }
+    }
   }
 
   // Returns the code for `v`, or UINT32_MAX if absent.
   uint32_t Lookup(const Value& v) const {
     if (slots_.empty()) return UINT32_MAX;
-    size_t i = Probe(v);
+    size_t i = Probe(v.Hash(), [&](const Value& u) { return u == v; });
     return slots_[i] == kEmpty ? UINT32_MAX : slots_[i];
   }
 
@@ -49,12 +115,25 @@ class Dictionary {
  private:
   static constexpr uint32_t kEmpty = UINT32_MAX;
 
-  // Index of the slot holding `v`'s code, or of the empty slot where it
-  // would be inserted. Requires a non-empty, never-full table.
-  size_t Probe(const Value& v) const {
+  void MaybeRehash() {
+    if (values_.size() + 1 > (slots_.size() * 7) / 10) Rehash();
+  }
+
+  uint32_t Insert(size_t slot, Value v) {
+    uint32_t code = static_cast<uint32_t>(values_.size());
+    values_.push_back(std::move(v));
+    slots_[slot] = code;
+    return code;
+  }
+
+  // Index of the slot whose stored value satisfies `eq`, or of the empty
+  // slot where such a value would be inserted. Requires a non-empty,
+  // never-full table.
+  template <typename Eq>
+  size_t Probe(uint64_t hash, const Eq& eq) const {
     size_t mask = slots_.size() - 1;
-    size_t i = static_cast<size_t>(v.Hash()) & mask;
-    while (slots_[i] != kEmpty && !(values_[slots_[i]] == v)) {
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (slots_[i] != kEmpty && !eq(values_[slots_[i]])) {
       i = (i + 1) & mask;
     }
     return i;

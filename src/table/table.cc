@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <unordered_set>
 
 #include "common/hashing.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace gordian {
 
@@ -157,11 +160,36 @@ Table Table::SelectColumns(const std::vector<int>& cols) const {
 
 int64_t Table::ApproxBytes() const {
   int64_t b = 0;
+  // Samples and column projections share Dictionary objects between tables
+  // and (after SelectColumns with repeats) between columns; count each
+  // distinct dictionary once so sharing isn't double-billed.
+  std::unordered_set<const Dictionary*> counted;
   for (const ColumnData& col : columns_) {
     b += static_cast<int64_t>(col.codes.capacity() * sizeof(uint32_t));
-    b += col.dict->ApproxBytes();
+    if (col.dict && counted.insert(col.dict.get()).second) {
+      b += col.dict->ApproxBytes();
+    }
   }
+  b += static_cast<int64_t>(cardinality_cache_.capacity() * sizeof(int64_t));
   return b;
+}
+
+Table Table::FromColumns(Schema schema,
+                         std::vector<std::shared_ptr<Dictionary>> dicts,
+                         std::vector<std::vector<uint32_t>> codes) {
+  assert(dicts.size() == codes.size());
+  assert(static_cast<int>(dicts.size()) == schema.num_columns());
+  Table out;
+  out.schema_ = std::move(schema);
+  out.num_rows_ =
+      codes.empty() ? 0 : static_cast<int64_t>(codes.front().size());
+  out.columns_.resize(dicts.size());
+  for (size_t c = 0; c < dicts.size(); ++c) {
+    assert(static_cast<int64_t>(codes[c].size()) == out.num_rows_);
+    out.columns_[c].dict = std::move(dicts[c]);
+    out.columns_[c].codes = std::move(codes[c]);
+  }
+  return out;
 }
 
 std::string Table::RowToString(int64_t row) const {
@@ -187,6 +215,34 @@ void TableBuilder::AddRow(const std::vector<Value>& row) {
     table_.columns_[c].codes.push_back(table_.columns_[c].dict->Encode(row[c]));
   }
   ++num_rows_;
+}
+
+void TableBuilder::AddBatch(const RowBatch& batch, ThreadPool* pool) {
+  const int ncols = table_.schema_.num_columns();
+  assert(batch.num_columns() == ncols);
+  if (pool == nullptr || pool->num_threads() <= 1 || ncols <= 1) {
+    for (int c = 0; c < ncols; ++c) {
+      table_.columns_[c].dict->EncodeBatch(batch.column(c),
+                                           &table_.columns_[c].codes);
+    }
+  } else {
+    // One task per column; per-column dictionaries are disjoint, so tasks
+    // never contend on data — the latch is the only synchronization.
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = ncols;
+    for (int c = 0; c < ncols; ++c) {
+      pool->Submit([this, &batch, &mu, &cv, &pending, c] {
+        table_.columns_[c].dict->EncodeBatch(batch.column(c),
+                                             &table_.columns_[c].codes);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+  }
+  num_rows_ += batch.num_rows();
 }
 
 Table TableBuilder::Build() {

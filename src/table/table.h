@@ -1,17 +1,22 @@
 #ifndef GORDIAN_TABLE_TABLE_H_
 #define GORDIAN_TABLE_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "table/column_chunk.h"
 #include "table/dictionary.h"
 #include "table/schema.h"
 #include "table/value.h"
 
 namespace gordian {
+
+class ThreadPool;
 
 // An immutable, in-memory, dictionary-encoded column collection — the
 // "collection of entities" that GORDIAN profiles. Each column stores one
@@ -76,8 +81,20 @@ class Table {
   // order (shared dictionaries).
   Table SelectColumns(const std::vector<int>& cols) const;
 
-  // Approximate heap footprint of code vectors + dictionaries.
+  // Approximate heap footprint of code vectors + dictionaries. Dictionaries
+  // shared between columns (or with a parent table the caller accounts
+  // separately) are counted once per distinct Dictionary object, and the
+  // cardinality cache is included.
   int64_t ApproxBytes() const;
+
+  // Assembles a table directly from per-column dictionaries and code
+  // vectors (all code vectors must have equal length; codes need not be
+  // dense in their dictionary's code space — samples already have that
+  // property). Used by consumers that maintain encoded rows themselves,
+  // e.g. the streaming reservoir.
+  static Table FromColumns(Schema schema,
+                           std::vector<std::shared_ptr<Dictionary>> dicts,
+                           std::vector<std::vector<uint32_t>> codes);
 
   // Renders row `row` as "v0|v1|...".
   std::string RowToString(int64_t row) const;
@@ -96,7 +113,11 @@ class Table {
   mutable std::vector<int64_t> cardinality_cache_;
 };
 
-// Row-at-a-time construction of a Table.
+// Construction of a Table. The primary path is batch-wise: producers fill
+// a RowBatch and AddBatch dictionary-encodes it column-at-a-time
+// (optionally one ThreadPool task per column). AddRow survives as a thin
+// row-at-a-time adapter; both paths assign identical dictionary codes
+// because each column sees its values in the same first-seen order.
 class TableBuilder {
  public:
   explicit TableBuilder(Schema schema);
@@ -104,7 +125,19 @@ class TableBuilder {
   // Appends one entity; `row` must have schema().num_columns() values.
   void AddRow(const std::vector<Value>& row);
 
+  // Appends every row of `batch` (batch.num_columns() must match the
+  // schema). With a pool, columns are encoded concurrently — per-column
+  // dictionaries are independent, so the result is deterministic and
+  // identical to the serial path.
+  void AddBatch(const RowBatch& batch, ThreadPool* pool = nullptr);
+
   int64_t num_rows() const { return num_rows_; }
+
+  const Schema& schema() const { return table_.schema(); }
+
+  // Approximate heap footprint of the under-construction code vectors and
+  // dictionaries.
+  int64_t ApproxBytes() const { return table_.ApproxBytes(); }
 
   // Finalizes and returns the table; the builder is left empty.
   Table Build();
@@ -112,6 +145,46 @@ class TableBuilder {
  private:
   Table table_;
   int64_t num_rows_ = 0;
+};
+
+// Row-shaped convenience over the batch path: callers append whole rows of
+// raw typed values (integers, doubles, strings, or Values — one argument
+// per column) and the writer flushes full RowBatches into the builder
+// automatically. Generators use this to fill batches directly without
+// materializing std::vector<Value> rows. Remaining rows flush on
+// destruction (or an explicit Flush()).
+class BatchWriter {
+ public:
+  explicit BatchWriter(TableBuilder* builder, ThreadPool* pool = nullptr)
+      : builder_(builder),
+        pool_(pool),
+        batch_(builder->schema().num_columns()) {}
+
+  ~BatchWriter() { Flush(); }
+
+  BatchWriter(const BatchWriter&) = delete;
+  BatchWriter& operator=(const BatchWriter&) = delete;
+
+  template <typename... Args>
+  void Append(Args&&... args) {
+    assert(static_cast<int>(sizeof...(Args)) == batch_.num_columns());
+    int c = 0;
+    (internal::AppendToChunk(&batch_.column(c++), std::forward<Args>(args)),
+     ...);
+    if (batch_.full()) Flush();
+  }
+
+  void Flush() {
+    if (batch_.num_rows() > 0) {
+      builder_->AddBatch(batch_, pool_);
+      batch_.Clear();
+    }
+  }
+
+ private:
+  TableBuilder* builder_;
+  ThreadPool* pool_;
+  RowBatch batch_;
 };
 
 }  // namespace gordian

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -44,20 +45,27 @@ class Value {
   double dbl() const { return std::get<double>(v_); }
   const std::string& str() const { return std::get<std::string>(v_); }
 
+  // Per-type hashes, exposed so typed encode paths (Dictionary::EncodeBatch)
+  // can probe without materializing a Value. Hash() composes exactly these.
+  static uint64_t NullHash() { return 0x6e61736eULL; }  // arbitrary NULL tag
+  static uint64_t HashOf(int64_t i) {
+    return Mix64(static_cast<uint64_t>(i));
+  }
+  static uint64_t HashOf(double d) {
+    if (d == 0.0) d = 0.0;  // -0.0 == 0.0 must hash identically
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return Mix64(bits ^ 0xd0e1f2a3ULL);
+  }
+  static uint64_t HashOf(std::string_view s) { return HashBytes(s); }
+
   uint64_t Hash() const {
     switch (v_.index()) {
-      case 0: return 0x6e61736eULL;  // arbitrary tag for NULL
-      case 1: return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
-      case 2: {
-        double d = std::get<double>(v_);
-        if (d == 0.0) d = 0.0;  // -0.0 == 0.0 must hash identically
-        uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(d));
-        __builtin_memcpy(&bits, &d, sizeof(bits));
-        return Mix64(bits ^ 0xd0e1f2a3ULL);
-      }
-      default:
-        return HashBytes(std::get<std::string>(v_));
+      case 0: return NullHash();
+      case 1: return HashOf(std::get<int64_t>(v_));
+      case 2: return HashOf(std::get<double>(v_));
+      default: return HashOf(std::string_view(std::get<std::string>(v_)));
     }
   }
 

@@ -127,6 +127,69 @@ TEST_F(CsvTest, RoundTripPreservesValues) {
   EXPECT_TRUE(back.value(1, 2).is_null());
 }
 
+TEST_F(CsvTest, QuotedFieldWithEmbeddedNewline) {
+  // RFC 4180: a quoted field may span lines. The old per-line reader split
+  // this record in two; the batch scanner must keep it whole.
+  std::string p = Path("embednl.csv");
+  WriteFile(p, "id,note\n1,\"line one\nline two\"\n2,plain\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &t).ok());
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.value(0, 1), Value("line one\nline two"));
+  EXPECT_EQ(t.value(1, 1), Value("plain"));
+}
+
+TEST_F(CsvTest, QuotedFieldWithEmbeddedCrlfKeepsCarriageReturn) {
+  // Outside quotes '\r' is stripped as part of CRLF handling; inside quotes
+  // it is data.
+  std::string p = Path("embedcrlf.csv");
+  WriteFile(p, "a,b\r\n\"x\r\ny\",2\r\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &t).ok());
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.value(0, 0), Value("x\r\ny"));
+}
+
+TEST_F(CsvTest, EmbeddedNewlineRecordSpanningReadBuffers) {
+  // A quoted field long enough to straddle the reader's 64 KiB refill
+  // boundary, with newlines sprinkled through it.
+  std::string big;
+  for (int i = 0; i < 9000; ++i) {
+    big += "word" + std::to_string(i);
+    big += (i % 11 == 0) ? '\n' : ' ';
+  }
+  std::string p = Path("bigquote.csv");
+  WriteFile(p, "a,b\n\"" + big + "\",7\n1,2\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &t).ok());
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.value(0, 0), Value(big));
+  EXPECT_EQ(t.value(0, 1), Value(int64_t{7}));
+}
+
+TEST_F(CsvTest, UnterminatedQuoteAtEofFails) {
+  std::string p = Path("unterm.csv");
+  WriteFile(p, "a,b\n1,\"oops\nstill open");
+  Table t;
+  Status s = ReadCsv(p, CsvOptions{}, &t);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(CsvTest, EmbeddedNewlineRoundTrip) {
+  TableBuilder b(Schema(std::vector<std::string>{"k", "text"}));
+  b.AddRow({Value(int64_t{1}), Value("a\nb")});
+  b.AddRow({Value(int64_t{2}), Value("c\r\nd,e\"f")});
+  Table t = b.Build();
+  std::string p = Path("nlround.csv");
+  ASSERT_TRUE(WriteCsv(t, CsvOptions{}, p).ok());
+  Table back;
+  ASSERT_TRUE(ReadCsv(p, CsvOptions{}, &back).ok());
+  ASSERT_EQ(back.num_rows(), 2);
+  EXPECT_EQ(back.value(0, 1), Value("a\nb"));
+  EXPECT_EQ(back.value(1, 1), Value("c\r\nd,e\"f"));
+}
+
 TEST_F(CsvTest, CustomDelimiter) {
   std::string p = Path("tsv.csv");
   WriteFile(p, "a\tb\n1\t2\n");

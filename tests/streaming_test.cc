@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 
 #include "core/gordian.h"
 #include "datagen/synthetic.h"
@@ -170,6 +171,27 @@ TEST(ProfileCsvFile, MatchesReadCsvPlusFindKeys) {
   Table loaded;
   ASSERT_TRUE(ReadCsv(path, CsvOptions{}, &loaded).ok());
   EXPECT_EQ(Sorted(streamed.KeySets()), Sorted(FindKeys(loaded).KeySets()));
+}
+
+TEST(ProfileCsvFile, QuotedEmbeddedNewlinesAreSingleRecords) {
+  // Regression: the old per-line ingest split a quoted multi-line field
+  // into two ragged records and failed; the batch scanner must profile it.
+  std::string path = ::testing::TempDir() + "gordian_stream_nl.csv";
+  {
+    std::ofstream os(path);
+    os << "id,note\n";
+    for (int i = 0; i < 50; ++i) {
+      os << i << ",\"note line a\nnote line b for " << i << "\"\n";
+    }
+  }
+  KeyDiscoveryResult r;
+  IngestStats stats;
+  ASSERT_TRUE(
+      ProfileCsvFile(path, CsvOptions{}, GordianOptions{}, &r, &stats).ok());
+  EXPECT_EQ(stats.rows, 50);
+  // Both columns are unique, so each singleton is a key.
+  EXPECT_EQ(Sorted(r.KeySets()),
+            Sorted({AttributeSet{0}, AttributeSet{1}}));
 }
 
 TEST(ProfileCsvFile, ReservoirModeAndErrors) {

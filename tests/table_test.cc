@@ -186,6 +186,42 @@ TEST(Table, DistinctCountFastAgreesWithSortBased) {
   }
 }
 
+TEST(Table, ApproxBytesCountsSharedDictionariesOnce) {
+  Table t = SmallTable();
+  const int64_t base = t.ApproxBytes();
+  EXPECT_GT(base, 0);
+
+  // A full-width sample shares all three dictionaries with the parent; its
+  // footprint must price each shared Dictionary once, not once per column
+  // and certainly not zero times.
+  Table sample = t.SampleRows(t.num_rows(), 1);
+  int64_t dict_bytes = 0;
+  for (int c = 0; c < t.num_columns(); ++c) {
+    dict_bytes += t.dictionary(c).ApproxBytes();
+  }
+  const int64_t sample_bytes = sample.ApproxBytes();
+  EXPECT_GE(sample_bytes, dict_bytes);
+  EXPECT_LE(sample_bytes, base + dict_bytes);
+
+  // Two columns backed by one Dictionary object: the single-column
+  // projection and the two-column table must differ only by one code
+  // vector, not by another copy of the dictionary.
+  Table one = t.SelectColumns({1});
+  Table two = t.SelectColumns({1, 1});
+  const int64_t codes_bytes =
+      static_cast<int64_t>(one.column_codes(0).capacity() * sizeof(uint32_t));
+  EXPECT_EQ(two.ApproxBytes(), one.ApproxBytes() + codes_bytes);
+}
+
+TEST(Table, ApproxBytesIncludesCardinalityCache) {
+  Table t = SmallTable();
+  const int64_t before = t.ApproxBytes();
+  (void)t.ColumnCardinality(0);  // materializes the per-column cache
+  const int64_t after = t.ApproxBytes();
+  EXPECT_GE(after,
+            before + static_cast<int64_t>(t.num_columns() * sizeof(int64_t)));
+}
+
 TEST(Table, RowToString) {
   Table t = SmallTable();
   EXPECT_EQ(t.RowToString(0), "1|x|1.500000");
