@@ -6,15 +6,27 @@
 // wall clock and tree-cache hit rate land in BENCH_pipeline.json
 // (overridable via GORDIAN_BENCH_PIPELINE_JSON) for CI trend tracking.
 //
+// A networked section then pushes the same discovery work through the
+// distributed front-end — router plus shard-owner workers, all in this
+// process over loopback — at one and two workers, against the in-process
+// service as the no-wire baseline. Throughput and the backpressure shed
+// rate land in BENCH_service.json (overridable via
+// GORDIAN_BENCH_SERVICE_JSON).
+//
 // Usage: bench_service_throughput [--tables=N] [--rows=N] [--repeats=N]
-//                                 [--threads=N]
+//                                 [--threads=N] [--net_clients=N]
+//                                 [--net_tables=N] [--net_rows=N]
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -22,6 +34,9 @@
 #include "common/stopwatch.h"
 #include "core/gordian.h"
 #include "datagen/synthetic.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/worker.h"
 #include "service/catalog_store.h"
 #include "service/metrics.h"
 #include "service/profiling_service.h"
@@ -32,11 +47,12 @@ using gordian::bench::FormatRatio;
 using gordian::bench::FormatSeconds;
 using gordian::bench::SeriesPrinter;
 
-std::vector<gordian::Table> MakeTables(int count, int64_t rows) {
+std::vector<gordian::Table> MakeTables(int count, int64_t rows,
+                                       uint64_t seed_base = 9000) {
   std::vector<gordian::Table> tables;
   for (int i = 0; i < count; ++i) {
     gordian::SyntheticSpec spec =
-        gordian::UniformSpec(8, rows, 24, 0.5, 9000 + i);
+        gordian::UniformSpec(8, rows, 24, 0.5, seed_base + i);
     spec.columns[0].cardinality = 512;
     spec.columns[3].cardinality = 64;
     spec.planted_keys.push_back({0, 3});
@@ -172,6 +188,184 @@ void WritePipelineJson(int num_tables, int64_t rows, int repeats, int threads,
      << "  ],\n"
      << "  \"warm_speedup\": "
      << (warm.seconds > 0 ? cold.seconds / warm.seconds : 0) << "\n"
+     << "}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+// --- networked front-end: the same discovery work through the wire -------
+//
+// Each client thread owns a disjoint slice of tables (distinct seeds), so
+// no two jobs are identical and neither job coalescing nor a catalog hit
+// can serve one job from another: every job pays serialization, framing,
+// routing, and a real discovery run. The router's per-worker queue is kept
+// deliberately tight so backpressure is part of the measurement — sheds
+// are absorbed by client retries and surface as the shed rate, which is
+// the point of the 1-worker vs 2-worker comparison: the same offered load
+// spread over twice the capacity sheds less.
+struct NetRun {
+  double seconds = 0;
+  int64_t jobs = 0;
+  int64_t sheds = 0;
+  int64_t transport_retries = 0;
+  double shed_rate() const {
+    return jobs + sheds > 0
+               ? static_cast<double>(sheds) /
+                     static_cast<double>(jobs + sheds)
+               : 0;
+  }
+};
+
+std::vector<std::vector<gordian::Table>> MakeClientSlices(int clients,
+                                                          int per_client,
+                                                          int64_t rows) {
+  std::vector<std::vector<gordian::Table>> slices;
+  for (int s = 0; s < clients; ++s) {
+    slices.push_back(MakeTables(per_client, rows, 11000 + 100 * s));
+  }
+  return slices;
+}
+
+// The no-wire baseline: every slice submitted straight into an in-process
+// service, same total job count and thread budget as the networked runs.
+NetRun RunLocalBaseline(const std::vector<std::vector<gordian::Table>>& slices,
+                        int threads) {
+  gordian::KeyCatalog catalog;
+  gordian::ServiceOptions options;
+  options.num_threads = threads;
+  options.catalog = &catalog;
+  gordian::ProfilingService service(options);
+  NetRun run;
+  gordian::Stopwatch watch;
+  std::vector<gordian::JobId> ids;
+  for (size_t s = 0; s < slices.size(); ++s) {
+    for (size_t i = 0; i < slices[s].size(); ++i) {
+      ids.push_back(service.SubmitTable(
+          "c" + std::to_string(s) + "-t" + std::to_string(i), &slices[s][i]));
+      ++run.jobs;
+    }
+  }
+  for (gordian::JobId id : ids) (void)service.Wait(id);
+  run.seconds = watch.ElapsedSeconds();
+  return run;
+}
+
+NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
+                    int num_workers, int threads) {
+  // Shard-owner workers over loopback, memory-only catalogs (persistence
+  // is benched separately), the service's thread budget split across them.
+  std::vector<std::unique_ptr<gordian::WorkerDaemon>> workers;
+  gordian::RouterOptions router_options;
+  const int span = gordian::KeyCatalog::kNumShards / num_workers;
+  for (int w = 0; w < num_workers; ++w) {
+    gordian::WorkerOptions wo;
+    wo.shard_first = w * span;
+    wo.shard_last = (w + 1 == num_workers)
+                        ? gordian::KeyCatalog::kNumShards - 1
+                        : (w + 1) * span - 1;
+    wo.num_threads = std::max(1, threads / num_workers);
+    auto daemon = std::make_unique<gordian::WorkerDaemon>(wo);
+    gordian::Status s = daemon->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "worker start failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    gordian::WorkerSpec spec;
+    spec.port = daemon->port();
+    spec.shard_first = wo.shard_first;
+    spec.shard_last = wo.shard_last;
+    router_options.workers.push_back(spec);
+    workers.push_back(std::move(daemon));
+  }
+  // Tight admission: one queued request and two dispatcher connections per
+  // worker, so offered load beyond ~3 in flight per worker sheds instead
+  // of queueing. Short retry-after keeps the retry tax honest but small.
+  router_options.per_worker_queue = 1;
+  router_options.per_worker_connections = 2;
+  router_options.retry_after_millis = 5;
+  gordian::Router router(router_options);
+  gordian::Status s = router.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<int64_t> jobs{0};
+  std::atomic<int64_t> sheds{0};
+  std::atomic<int64_t> retries{0};
+  gordian::Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < slices.size(); ++c) {
+    clients.emplace_back([&, c] {
+      gordian::ProfileClient client("127.0.0.1", router.port());
+      gordian::RemoteProfileOptions options;
+      options.client_id = "bench-" + std::to_string(c);
+      options.max_attempts = 64;
+      options.retry_base_millis = 2;
+      for (size_t i = 0; i < slices[c].size(); ++i) {
+        gordian::RemoteOutcome outcome;
+        gordian::Status st = client.Profile(
+            "c" + std::to_string(c) + "-t" + std::to_string(i), slices[c][i],
+            options, &outcome);
+        if (!st.ok()) {
+          std::fprintf(stderr, "remote profile failed: %s\n",
+                       st.ToString().c_str());
+          std::exit(1);
+        }
+        jobs.fetch_add(1);
+        sheds.fetch_add(outcome.sheds);
+        retries.fetch_add(outcome.transport_retries);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  NetRun run;
+  run.seconds = watch.ElapsedSeconds();
+  run.jobs = jobs.load();
+  run.sheds = sheds.load();
+  run.transport_retries = retries.load();
+  router.Stop();
+  for (auto& w : workers) w->Stop();
+  return run;
+}
+
+void WriteServiceJson(int clients, int per_client, int64_t rows, int threads,
+                      const NetRun& local, const NetRun& one,
+                      const NetRun& two) {
+  const char* env_path = std::getenv("GORDIAN_BENCH_SERVICE_JSON");
+  const std::string path = (env_path != nullptr && *env_path != '\0')
+                               ? env_path
+                               : "BENCH_service.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  auto config = [&os](const char* name, const NetRun& r, bool last) {
+    os << "    {\"name\": \"" << name << "\",\n"
+       << "     \"wall_seconds\": " << r.seconds << ",\n"
+       << "     \"jobs_per_second\": "
+       << (r.seconds > 0 ? r.jobs / r.seconds : 0) << ",\n"
+       << "     \"sheds\": " << r.sheds << ",\n"
+       << "     \"transport_retries\": " << r.transport_retries << ",\n"
+       << "     \"shed_rate\": " << r.shed_rate() << "}"
+       << (last ? "\n" : ",\n");
+  };
+  os << "{\n"
+     << "  \"benchmark\": \"networked_service_throughput\",\n"
+     << "  \"client_threads\": " << clients << ",\n"
+     << "  \"tables_per_client\": " << per_client << ",\n"
+     << "  \"rows\": " << rows << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"jobs\": " << local.jobs << ",\n"
+     << "  \"configurations\": [\n";
+  config("local_in_process", local, false);
+  config("router_1_worker", one, false);
+  config("router_2_workers", two, true);
+  os << "  ],\n"
+     << "  \"wire_overhead_1_worker\": "
+     << (local.seconds > 0 ? one.seconds / local.seconds : 0) << ",\n"
+     << "  \"two_worker_speedup_over_one\": "
+     << (two.seconds > 0 ? one.seconds / two.seconds : 0) << "\n"
      << "}\n";
   std::cout << "wrote " << path << "\n";
 }
@@ -321,6 +515,45 @@ int main(int argc, char** argv) {
                 dir.c_str(), static_cast<int>(coldN.size()),
                 gordian::KeyCatalog::kNumShards);
     stdfs::remove_all(dir, ec);
+  }
+
+  // Networked front-end: identical discovery workload pushed through the
+  // router + shard-owner workers over loopback, at one and two workers,
+  // with the in-process service as the no-wire baseline.
+  const int net_clients = static_cast<int>(flags.GetInt("net_clients", 6));
+  const int net_tables = static_cast<int>(flags.GetInt("net_tables", 6));
+  const int64_t net_rows = flags.GetInt("net_rows", 2000);
+  gordian::bench::Banner(
+      "networked front-end",
+      "router + shard-owner workers over loopback vs in-process service");
+  {
+    std::vector<std::vector<gordian::Table>> slices =
+        MakeClientSlices(net_clients, net_tables, net_rows);
+    const NetRun local = RunLocalBaseline(slices, max_threads);
+    const NetRun one = RunNetworked(slices, /*num_workers=*/1, max_threads);
+    const NetRun two = RunNetworked(slices, /*num_workers=*/2, max_threads);
+
+    SeriesPrinter np({"configuration", "seconds", "jobs/sec", "sheds",
+                      "shed rate", "vs local"});
+    char shed[32];
+    auto net_row = [&](const char* name, const NetRun& r) {
+      std::snprintf(shed, sizeof(shed), "%.1f%%", r.shed_rate() * 100);
+      np.AddRow({name, FormatSeconds(r.seconds),
+                 FormatRatio(r.jobs / r.seconds), std::to_string(r.sheds),
+                 shed, FormatRatio(local.seconds / r.seconds)});
+    };
+    net_row("local in-process", local);
+    net_row("router + 1 worker", one);
+    net_row("router + 2 workers", two);
+    np.Print();
+
+    std::printf("\n%d client thread(s) x %d table(s) x %lld rows; "
+                "wire overhead at 1 worker: %.2fx; "
+                "2 workers vs 1: %.2fx\n",
+                net_clients, net_tables, static_cast<long long>(net_rows),
+                one.seconds / local.seconds, one.seconds / two.seconds);
+    WriteServiceJson(net_clients, net_tables, net_rows, max_threads, local,
+                     one, two);
   }
   return 0;
 }

@@ -24,6 +24,15 @@ class Status {
     // partial results reject it for free, while callers that can opt in via
     // IsPartial().
     kPartial,
+    // The operation was refused or could not reach its target, but retrying
+    // later may succeed: a load-shed reply from a full queue, a worker that
+    // is down, an exhausted quota. The distributed front-end (src/net) maps
+    // its backpressure and failover decisions onto this code; callers check
+    // IsUnavailable() to decide whether a retry is worthwhile.
+    kUnavailable,
+    // The caller's deadline expired before the operation finished. Unlike
+    // kUnavailable, retrying with the same deadline cannot help.
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -47,9 +56,17 @@ class Status {
   static Status Partial(std::string msg) {
     return Status(Code::kPartial, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsPartial() const { return code_ == Code::kPartial; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -64,6 +81,8 @@ class Status {
       case Code::kOutOfRange: name = "OutOfRange"; break;
       case Code::kUnsupported: name = "Unsupported"; break;
       case Code::kPartial: name = "Partial"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
+      case Code::kDeadlineExceeded: name = "DeadlineExceeded"; break;
     }
     return std::string(name) + ": " + message_;
   }

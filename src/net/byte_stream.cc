@@ -1,0 +1,127 @@
+#include "net/byte_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gordian {
+
+const char* NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kRead: return "read";
+    case NetOp::kWrite: return "write";
+  }
+  return "?";
+}
+
+Status ReadExact(ByteStream& stream, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    size_t n = 0;
+    Status s = stream.ReadSome(buf + got, len - got, &n);
+    if (!s.ok()) return s;
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("end of stream");
+      return Status::IOError("short read: stream ended " +
+                             std::to_string(len - got) + " byte(s) early");
+    }
+    got += n;
+  }
+  return Status::OK();
+}
+
+Status MemoryStream::ReadSome(char* buf, size_t len, size_t* n) {
+  *n = 0;
+  if (closed_) return Status::IOError("stream closed");
+  size_t avail = input_.size() - pos_;
+  size_t take = std::min({len, avail, max_chunk_});
+  std::memcpy(buf, input_.data() + pos_, take);
+  pos_ += take;
+  *n = take;
+  return Status::OK();
+}
+
+Status MemoryStream::Write(const char* buf, size_t len) {
+  if (closed_) return Status::IOError("stream closed");
+  output_.append(buf, len);
+  return Status::OK();
+}
+
+void FaultInjectionStream::Arm(NetFaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = std::move(spec);
+  armed_ = true;
+  fired_ = false;
+}
+
+void FaultInjectionStream::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  fired_ = false;
+}
+
+bool FaultInjectionStream::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultInjectionStream::Admit(NetOp op, size_t len, size_t* allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *allowed = len;
+  if (fired_ && spec_.kind == NetFaultSpec::Kind::kDisconnect) {
+    // A vanished peer stays vanished: reads keep reporting end-of-stream
+    // (signalled by *allowed = 0), writes keep failing.
+    if (op == NetOp::kRead) {
+      *allowed = 0;
+      return Status::OK();
+    }
+    return Status::IOError(spec_.message);
+  }
+  if (!armed_ || fired_ || spec_.op != op) return Status::OK();
+  if (static_cast<int64_t>(len) <= spec_.countdown_bytes) {
+    spec_.countdown_bytes -= static_cast<int64_t>(len);
+    return Status::OK();
+  }
+  // This call exhausts the budget: it is the one that fails.
+  fired_ = true;
+  if (spec_.kind == NetFaultSpec::Kind::kDisconnect) {
+    if (op == NetOp::kRead) {
+      // Let the residual bytes through; the *next* read sees end-of-stream.
+      // A zero residual makes this read the clean EOF itself.
+      *allowed = static_cast<size_t>(spec_.countdown_bytes);
+      return Status::OK();
+    }
+    return Status::IOError(spec_.message);
+  }
+  if (op == NetOp::kWrite && spec_.countdown_bytes > 0) {
+    // Torn write: a prefix reaches the peer, then the connection dies.
+    size_t prefix = static_cast<size_t>(spec_.countdown_bytes);
+    spec_.countdown_bytes = 0;
+    *allowed = prefix;
+    return Status::IOError(spec_.message);  // caller writes prefix, then fails
+  }
+  return Status::IOError(spec_.message);
+}
+
+Status FaultInjectionStream::ReadSome(char* buf, size_t len, size_t* n) {
+  size_t allowed = 0;
+  Status s = Admit(NetOp::kRead, len, &allowed);
+  if (!s.ok()) {
+    *n = 0;
+    return s;
+  }
+  if (allowed == 0) {
+    *n = 0;
+    return Status::OK();  // injected end-of-stream
+  }
+  return base_->ReadSome(buf, allowed, n);
+}
+
+Status FaultInjectionStream::Write(const char* buf, size_t len) {
+  size_t allowed = 0;
+  Status s = Admit(NetOp::kWrite, len, &allowed);
+  if (s.ok()) return base_->Write(buf, len);
+  if (allowed > 0) (void)base_->Write(buf, allowed);  // the torn prefix
+  return s;
+}
+
+}  // namespace gordian

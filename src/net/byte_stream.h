@@ -1,0 +1,143 @@
+#ifndef GORDIAN_NET_BYTE_STREAM_H_
+#define GORDIAN_NET_BYTE_STREAM_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace gordian {
+
+// The transport operations the RPC layer performs on one connection, named
+// so a fault can be aimed at exactly one of them (the socket-side mirror of
+// FsOp in service/fault_fs.h).
+enum class NetOp {
+  kRead,
+  kWrite,
+};
+
+const char* NetOpName(NetOp op);
+
+// Narrow byte-pipe seam between the RPC framing layer and the OS socket.
+// Production code uses TcpStream (net/socket.h); tests substitute
+// MemoryStream or FaultInjectionStream to make short reads, torn writes,
+// and mid-frame disconnects deterministic. The framing layer only ever
+// needs "read some", "write all", and "close" — no seeking, no peeking.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Reads up to `len` bytes into `buf`; *n receives how many arrived. A
+  // clean end-of-stream is OK with *n == 0 (the caller decides whether the
+  // boundary fell between frames or tore one in half).
+  virtual Status ReadSome(char* buf, size_t len, size_t* n) = 0;
+
+  // Writes all `len` bytes or fails. A failure reports how the connection
+  // died; whether a prefix reached the peer is unknowable, exactly as with
+  // a real socket.
+  virtual Status Write(const char* buf, size_t len) = 0;
+
+  // Closes the connection. Safe to call from another thread to abort a
+  // blocked ReadSome/Write (TcpStream shuts the socket down first), and
+  // safe to call twice.
+  virtual void Close() = 0;
+
+  // Absolute deadline applied to every subsequent read and write; a blocked
+  // operation that reaches it fails with DeadlineExceeded. time_point::max()
+  // (the default) means no deadline.
+  virtual void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    (void)deadline;
+  }
+};
+
+// Reads exactly `len` bytes, mapping a clean end-of-stream short of the
+// target onto IOError("short read ...") — the framing layer's way to tell a
+// between-frames disconnect (ReadSome returns 0 at offset 0, reported as
+// kEof below) from a torn frame.
+//
+// Returns OK, IOError, or whatever the stream failed with. When the stream
+// ends cleanly before the first byte, returns NotFound (sentinel for "peer
+// hung up between frames"; the server loop exits quietly on it).
+Status ReadExact(ByteStream& stream, char* buf, size_t len);
+
+// In-memory script stream for unit tests: serves `input` to ReadSome (in
+// chunks of at most `max_chunk` to exercise short-read handling) and
+// captures everything Write sends into `output`.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(std::string input = "", size_t max_chunk = SIZE_MAX)
+      : input_(std::move(input)), max_chunk_(max_chunk) {}
+
+  Status ReadSome(char* buf, size_t len, size_t* n) override;
+  Status Write(const char* buf, size_t len) override;
+  void Close() override { closed_ = true; }
+
+  const std::string& output() const { return output_; }
+  bool closed() const { return closed_; }
+
+ private:
+  std::string input_;
+  size_t pos_ = 0;
+  size_t max_chunk_;
+  std::string output_;
+  bool closed_ = false;
+};
+
+// A one-shot fault armed on a FaultInjectionStream. The fault fires once
+// `countdown_bytes` bytes of the matching operation have passed through.
+struct NetFaultSpec {
+  NetOp op = NetOp::kWrite;
+
+  // Bytes of `op` traffic to let through before the fault fires. The call
+  // in flight when the budget runs out is the one that fails.
+  int64_t countdown_bytes = 0;
+
+  // How the fault presents:
+  //  - kError: the call fails with IOError(message); a kWrite fault first
+  //    lets the remaining countdown budget through (a short/torn write).
+  //  - kDisconnect: the stream behaves as if the peer vanished — reads hit
+  //    a clean end-of-stream, writes fail — modelling a mid-frame
+  //    disconnect rather than a socket error.
+  enum class Kind { kError, kDisconnect };
+  Kind kind = Kind::kError;
+
+  std::string message = "injected network fault";
+};
+
+// Wraps a base stream and fails deterministically at an armed byte offset.
+// Thread-safe; the framing fault matrix in tests/net_frame_test.cc drives
+// it the same way the catalog crash matrix drives FaultInjectionFs.
+class FaultInjectionStream : public ByteStream {
+ public:
+  explicit FaultInjectionStream(ByteStream* base) : base_(base) {}
+
+  // Replaces any previously armed fault and resets the fired state.
+  void Arm(NetFaultSpec spec);
+  void Reset();
+  bool fired() const;
+
+  Status ReadSome(char* buf, size_t len, size_t* n) override;
+  Status Write(const char* buf, size_t len) override;
+  void Close() override { base_->Close(); }
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) override {
+    base_->SetDeadline(deadline);
+  }
+
+ private:
+  // Returns how many bytes of this call may proceed (possibly all of
+  // `len`), or a failure to return instead. Updates the countdown.
+  Status Admit(NetOp op, size_t len, size_t* allowed);
+
+  ByteStream* base_;
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool fired_ = false;
+  NetFaultSpec spec_;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_NET_BYTE_STREAM_H_

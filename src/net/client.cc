@@ -1,0 +1,99 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "table/fingerprint.h"
+#include "table/serialize.h"
+
+namespace gordian {
+
+ProfileClient::ProfileClient(std::string host, int port,
+                             ServiceMetrics* metrics)
+    : rpc_(std::move(host), port, metrics),
+      jitter_state_(0xc3a5c85c97cb3127ull ^
+                    (static_cast<uint64_t>(port) << 32)) {}
+
+Status ProfileClient::Profile(const std::string& table_name,
+                              const Table& table,
+                              const RemoteProfileOptions& options,
+                              RemoteOutcome* outcome) {
+  ProfileRequest req;
+  req.client_id = options.client_id;
+  req.table_name = table_name;
+  req.priority = options.priority;
+  req.use_catalog = options.use_catalog;
+  req.use_tree_cache = options.use_tree_cache;
+  req.sample_rows = options.sample_rows;
+  req.sample_seed = options.sample_seed;
+  {
+    std::ostringstream os;
+    Status s = WriteTable(table, os);
+    if (!s.ok()) return s;
+    req.table_bytes = os.str();
+  }
+  req.fingerprint = TableFingerprint(table);
+
+  std::string payload;
+  EncodeProfileRequest(req, &payload);
+
+  *outcome = RemoteOutcome();
+  outcome->fingerprint = req.fingerprint;
+
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < std::max(1, options.max_attempts);
+       ++attempt) {
+    RpcReply reply;
+    Status s = rpc_.Call(RpcMethod::kProfile, payload,
+                         options.deadline_millis, &reply);
+    if (!s.ok()) {
+      // Transport failure: the peer may be restarting. Back off with
+      // jitter and reconnect (Call reconnects internally).
+      last = s;
+      ++outcome->transport_retries;
+      uint64_t x = (jitter_state_ += 0x9e3779b97f4a7c15ull);
+      x ^= x >> 31;
+      const int base =
+          std::max(1, options.retry_base_millis) << std::min(attempt, 6);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(base / 2 + static_cast<int>(x % base)));
+      continue;
+    }
+    if (reply.remote.IsUnavailable()) {
+      // Load shed: honor the server's retry-after hint.
+      last = reply.remote;
+      ++outcome->sheds;
+      const uint32_t wait = reply.retry_after_millis > 0
+                                ? reply.retry_after_millis
+                                : static_cast<uint32_t>(
+                                      std::max(1, options.retry_base_millis));
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      continue;
+    }
+    if (!reply.remote.ok()) return reply.remote;  // not retryable
+
+    ProfileResponse resp;
+    Status decode = DecodeProfileResponse(reply.payload, &resp);
+    if (!decode.ok()) return decode;
+    outcome->result = std::move(resp.result);
+    outcome->fingerprint = resp.fingerprint;
+    outcome->cache_hit = resp.cache_hit;
+    outcome->follower_hit = resp.follower_hit;
+    outcome->tree_cache_hit = resp.tree_cache_hit;
+    outcome->served_by = std::move(resp.served_by);
+    return Status::OK();
+  }
+  return last;
+}
+
+Status ProfileClient::Health(HealthInfo* info, uint32_t deadline_millis) {
+  RpcReply reply;
+  Status s = rpc_.Call(RpcMethod::kHealth, "", deadline_millis, &reply);
+  if (!s.ok()) return s;
+  if (!reply.remote.ok()) return reply.remote;
+  return DecodeHealthInfo(reply.payload, info);
+}
+
+}  // namespace gordian

@@ -1,0 +1,140 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace gordian {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'R', 'D', 'N'};
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+uint8_t StatusCodeToWire(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return 0;
+    case Status::Code::kInvalidArgument: return 1;
+    case Status::Code::kNotFound: return 2;
+    case Status::Code::kIOError: return 3;
+    case Status::Code::kOutOfRange: return 4;
+    case Status::Code::kUnsupported: return 5;
+    case Status::Code::kPartial: return 6;
+    case Status::Code::kUnavailable: return 7;
+    case Status::Code::kDeadlineExceeded: return 8;
+  }
+  return 3;  // unreachable; map to kIOError
+}
+
+Status::Code StatusCodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return Status::Code::kOk;
+    case 1: return Status::Code::kInvalidArgument;
+    case 2: return Status::Code::kNotFound;
+    case 3: return Status::Code::kIOError;
+    case 4: return Status::Code::kOutOfRange;
+    case 5: return Status::Code::kUnsupported;
+    case 6: return Status::Code::kPartial;
+    case 7: return Status::Code::kUnavailable;
+    case 8: return Status::Code::kDeadlineExceeded;
+    default: return Status::Code::kIOError;
+  }
+}
+
+Status WriteFrame(ByteStream& stream, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte limit");
+  }
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + frame.payload.size());
+  wire.append(kMagic, 4);
+  PutU32(&wire, static_cast<uint32_t>(frame.payload.size()));
+  PutU64(&wire, frame.request_id);
+  wire.push_back(static_cast<char>(frame.type));
+  wire.push_back(static_cast<char>(frame.method));
+  wire.push_back(static_cast<char>(StatusCodeToWire(frame.status_code)));
+  wire.push_back(0);  // reserved
+  PutU32(&wire, frame.deadline_millis);
+  wire.append(frame.payload);
+  return stream.Write(wire.data(), wire.size());
+}
+
+Status ReadFrame(ByteStream& stream, Frame* frame) {
+  char header[kFrameHeaderBytes];
+  Status s = ReadExact(stream, header, sizeof(header));
+  if (!s.ok()) return s;  // NotFound between frames, IOError mid-header
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const uint32_t payload_len = GetU32(header + 4);
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(payload_len) + " exceeds the " +
+        std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  frame->request_id = GetU64(header + 8);
+  const uint8_t type = static_cast<uint8_t>(header[16]);
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  frame->type = static_cast<FrameType>(type);
+  const uint8_t method = static_cast<uint8_t>(header[17]);
+  if (method != static_cast<uint8_t>(RpcMethod::kProfile) &&
+      method != static_cast<uint8_t>(RpcMethod::kHealth)) {
+    return Status::InvalidArgument("unknown rpc method " +
+                                   std::to_string(method));
+  }
+  frame->method = static_cast<RpcMethod>(method);
+  frame->status_code = StatusCodeFromWire(static_cast<uint8_t>(header[18]));
+  if (header[19] != 0) {
+    return Status::InvalidArgument("nonzero reserved frame byte");
+  }
+  frame->deadline_millis = GetU32(header + 20);
+  frame->payload.resize(payload_len);
+  if (payload_len > 0) {
+    s = ReadExact(stream, frame->payload.data(), payload_len);
+    if (!s.ok()) {
+      // A clean hang-up mid-payload is still a torn frame, not an
+      // end-of-stream the caller should tolerate.
+      if (s.code() == Status::Code::kNotFound) {
+        return Status::IOError("stream ended mid-frame");
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gordian

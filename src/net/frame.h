@@ -1,0 +1,82 @@
+#ifndef GORDIAN_NET_FRAME_H_
+#define GORDIAN_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/byte_stream.h"
+
+namespace gordian {
+
+// The RPC methods of the distributed profiling front-end.
+enum class RpcMethod : uint8_t {
+  kProfile = 1,  // table bytes in, discovery report out
+  kHealth = 2,   // liveness + load probe (heartbeats, demo status)
+};
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+// One length-prefixed binary frame — the unit of the wire protocol:
+//
+//   magic "GRDN" (4 bytes)
+//   u32 payload length            (rejected above kMaxFramePayload)
+//   u64 request id                (echoed by the response)
+//   u8  type                      (FrameType)
+//   u8  method                    (RpcMethod)
+//   u8  status code               (wire status; 0 = OK, requests always 0)
+//   u8  reserved                  (must be 0)
+//   u32 deadline / retry-after ms (requests: remaining deadline budget,
+//                                  0 = none; responses: retry-after hint on
+//                                  load-shed replies, 0 otherwise)
+//   payload bytes
+//
+// Integers are little-endian fixed width, matching the GRDT/GRDC formats.
+// For OK responses the payload is the method's response message; for error
+// responses it is the error text (the Status message).
+struct Frame {
+  uint64_t request_id = 0;
+  FrameType type = FrameType::kRequest;
+  RpcMethod method = RpcMethod::kProfile;
+  Status::Code status_code = Status::Code::kOk;
+  uint32_t deadline_millis = 0;  // or retry-after, per the table above
+  std::string payload;
+};
+
+// Fixed bytes before the payload.
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+// Hard ceiling on one frame's payload: large enough for any realistic
+// serialized table, small enough that a corrupt or hostile length field
+// cannot talk the receiver into a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
+
+// Status::Code <-> wire byte. The wire values are frozen independently of
+// the enum's order so old and new binaries can interoperate; an unknown
+// wire byte decodes as kIOError (the connection is speaking a newer
+// protocol, which the receiver treats as a transport-level problem).
+uint8_t StatusCodeToWire(Status::Code code);
+Status::Code StatusCodeFromWire(uint8_t wire);
+
+// Serializes `frame` onto the stream as one contiguous write (header +
+// payload), so a frame is either fully queued to the kernel or the
+// connection is dead. Fails if the payload exceeds kMaxFramePayload.
+Status WriteFrame(ByteStream& stream, const Frame& frame);
+
+// Reads and validates one frame. Returns:
+//  - OK with *frame filled,
+//  - NotFound when the stream ended cleanly between frames (server loops
+//    exit quietly on this),
+//  - IOError for a torn frame (disconnect mid-header or mid-payload),
+//  - InvalidArgument for garbage: bad magic, unknown type/method byte,
+//    nonzero reserved byte, or a length field above kMaxFramePayload.
+// On InvalidArgument the connection is desynchronized and must be closed;
+// re-reading cannot recover the frame boundary.
+Status ReadFrame(ByteStream& stream, Frame* frame);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_NET_FRAME_H_

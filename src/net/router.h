@@ -1,0 +1,161 @@
+#ifndef GORDIAN_NET_ROUTER_H_
+#define GORDIAN_NET_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/rpc.h"
+#include "net/wire.h"
+#include "service/metrics.h"
+
+namespace gordian {
+
+// One shard-owner worker as the router sees it.
+struct WorkerSpec {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int shard_first = 0;  // inclusive owned range; must tile [0, 16) with the
+  int shard_last = 0;   // other specs for every shard to have an owner
+};
+
+struct RouterOptions {
+  int port = 0;  // 0 = ephemeral; read back via port()
+
+  std::vector<WorkerSpec> workers;
+
+  // Bound on requests queued for one worker (admitted but not yet sent).
+  // Beyond it the router sheds with Unavailable + retry-after instead of
+  // letting a slow worker absorb unbounded memory.
+  int per_worker_queue = 32;
+
+  // Dispatcher threads (each with its own RpcClient connection) per worker.
+  int per_worker_connections = 4;
+
+  // Forwarding attempts per request across transport failures. The first
+  // retry goes back to the owner (it may have restarted); later ones fail
+  // over to any healthy worker, which serves non-owned shards from its
+  // follower catalogs or by uncached discovery.
+  int max_attempts = 4;
+
+  // Base for the jittered exponential backoff between attempts.
+  int retry_base_millis = 20;
+
+  // Retry-after hint carried by the router's own shed replies.
+  int retry_after_millis = 100;
+
+  // Health-probe period; 0 disables the heartbeat thread (worker liveness
+  // is then learned only from forwarding failures).
+  int heartbeat_period_millis = 250;
+
+  // Per-client token-bucket quota: sustained requests/second and burst
+  // capacity, keyed by the request's client id. 0 = no quotas.
+  double quota_tokens_per_second = 0;
+  double quota_burst = 0;
+
+  // Deadline stamped on forwarded requests that arrived without one, so a
+  // hung worker cannot pin a dispatcher forever. 0 = none.
+  int default_deadline_millis = 30'000;
+};
+
+// The distributed front-end: accepts kProfile RPCs, routes each by its
+// table-fingerprint shard to the owning worker, and forwards the payload
+// verbatim (the table is never deserialized here — only the routing prefix
+// is decoded). Admission control is layered: a per-client token bucket, a
+// bounded per-worker queue, and the workers' own active-RPC caps; every
+// refusal is an Unavailable reply carrying a retry-after hint rather than a
+// silent stall. Transport failures are retried with jittered backoff, first
+// against the (possibly restarted) owner and then against any live worker.
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return server_ == nullptr ? 0 : server_->port(); }
+
+  // Workers currently considered up (by heartbeat, or by last forward).
+  int workers_up() const;
+
+  ServiceMetrics::Snapshot Metrics() const { return metrics_.Read(); }
+
+ private:
+  // A forward waiting in a worker queue; the connection thread that
+  // admitted it blocks on `cv` until a dispatcher publishes the outcome.
+  struct PendingCall {
+    const Frame* request = nullptr;
+    Frame* response = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct WorkerState {
+    WorkerSpec spec;
+    std::atomic<bool> up{true};  // optimistic until proven otherwise
+    std::mutex mu;               // guards queue
+    std::condition_variable cv;
+    std::deque<PendingCall*> queue;
+    std::vector<std::unique_ptr<RpcClient>> clients;  // one per dispatcher
+    std::unique_ptr<RpcClient> health_client;
+  };
+
+  struct TokenBucket {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last;
+  };
+
+  void HandleRpc(const Frame& request, Frame* response);
+  void HandleProfile(const Frame& request, Frame* response);
+  void HandleHealth(Frame* response);
+
+  // True when the request is within quota (or quotas are off).
+  bool AdmitClient(const std::string& client_id);
+
+  int OwnerOf(uint64_t fingerprint) const;
+
+  // Dispatcher loop: drains worker `w`'s queue through `client`.
+  void DispatchLoop(WorkerState* w, RpcClient* client);
+
+  // One request's full forwarding lifecycle: owner first, retries with
+  // jittered backoff, failover to live peers. Fills `*response`.
+  void Forward(WorkerState* owner, RpcClient* owner_client,
+               const Frame& request, Frame* response);
+
+  void HeartbeatLoop();
+
+  RouterOptions options_;
+  ServiceMetrics metrics_;
+  std::unique_ptr<RpcServer> server_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  int shard_owner_[16] = {};  // shard index -> workers_ index
+
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> dispatchers_;
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mu_;  // pairs with heartbeat_cv_ for prompt shutdown
+  std::condition_variable heartbeat_cv_;
+
+  std::mutex quota_mu_;
+  std::unordered_map<std::string, TokenBucket> quotas_;
+
+  std::atomic<uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_NET_ROUTER_H_

@@ -1,0 +1,120 @@
+#ifndef GORDIAN_NET_RPC_H_
+#define GORDIAN_NET_RPC_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/metrics.h"
+
+namespace gordian {
+
+// Serves GRDN frames on a loopback TCP port: one accept thread, one thread
+// per connection, one handler call per request frame. Connections are
+// persistent — a client sends many requests down one socket, each answered
+// in order. A malformed frame (garbage, oversized length) poisons only its
+// own connection: the server closes it and the other connections carry on.
+//
+// The handler runs on the connection's thread and may block (the worker's
+// profile handler waits for discovery to finish); concurrency across
+// requests comes from concurrent connections.
+class RpcServer {
+ public:
+  struct Options {
+    int port = 0;  // 0 = ephemeral; read the choice back via port()
+    ServiceMetrics* metrics = nullptr;  // rpcs/bytes counters, optional
+  };
+
+  // The handler fills `*response` (type/request_id are pre-set to match the
+  // request; it may override payload, status_code, and retry-after).
+  using Handler = std::function<void(const Frame& request, Frame* response)>;
+
+  explicit RpcServer(Options options) : options_(options) {}
+  ~RpcServer() { Stop(); }
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  // Binds, listens, and starts accepting. Fails if the port is taken.
+  Status Start(Handler handler);
+
+  // The bound port; valid after Start succeeds.
+  int port() const { return listener_.port(); }
+
+  // Stops accepting, closes every live connection (aborting blocked reads),
+  // and joins all threads. Idempotent; called by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(ByteStream* stream);
+
+  Options options_;
+  Handler handler_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  // Streams stay owned here until Stop so a shutdown can Close() them out
+  // from under their (blocked) connection threads.
+  std::list<std::unique_ptr<ByteStream>> connections_;
+  std::vector<std::thread> threads_;
+};
+
+// What one RPC produced, beyond transport success: the remote Status (OK or
+// the error the peer mapped onto the frame), the response payload, and the
+// retry-after hint carried by load-shed replies.
+struct RpcReply {
+  Status remote;
+  std::string payload;
+  uint32_t retry_after_millis = 0;
+};
+
+// One persistent client connection. Call() connects lazily, sends a request
+// frame, and blocks for the matching response; any transport or framing
+// error closes the connection so the next Call reconnects from scratch.
+// Thread-safe; calls are serialized (the router opens several clients per
+// worker for parallelism).
+class RpcClient {
+ public:
+  explicit RpcClient(std::string host, int port,
+                     ServiceMetrics* metrics = nullptr)
+      : host_(std::move(host)), port_(port), metrics_(metrics) {}
+  ~RpcClient() { Close(); }
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Returns the transport outcome: OK means a well-formed response arrived
+  // and `*reply` is filled (its `remote` Status may still be an error the
+  // peer reported); anything else means the connection failed and was
+  // closed. `deadline_millis` bounds connect + send + receive and is also
+  // propagated in the request frame (0 = none).
+  Status Call(RpcMethod method, const std::string& payload,
+              uint32_t deadline_millis, RpcReply* reply);
+
+  void Close();
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  const std::string host_;
+  const int port_;
+  ServiceMetrics* metrics_;
+  std::mutex mu_;
+  std::unique_ptr<ByteStream> stream_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_NET_RPC_H_

@@ -1,0 +1,220 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <cstring>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace gordian {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Remaining time before `deadline`, clamped for poll(); -1 = wait forever.
+int PollTimeout(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>(left.count(), 1 << 30));
+}
+
+}  // namespace
+
+Status TcpStream::WaitReady(short events) {
+  for (;;) {
+    int fd = fd_.load();
+    if (fd < 0) return Status::IOError("stream closed");
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    int timeout = PollTimeout(deadline_);
+    if (timeout == 0) return Status::DeadlineExceeded("socket deadline");
+    int rc = ::poll(&p, 1, timeout);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("socket deadline");
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+Status TcpStream::ReadSome(char* buf, size_t len, size_t* n) {
+  *n = 0;
+  for (;;) {
+    Status ready = WaitReady(POLLIN);
+    if (!ready.ok()) return ready;
+    int fd = fd_.load();
+    if (fd < 0) return Status::IOError("stream closed");
+    ssize_t rc = ::recv(fd, buf, len, 0);
+    if (rc >= 0) {
+      *n = static_cast<size_t>(rc);
+      return Status::OK();  // rc == 0 is the peer's clean shutdown
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // poll raced
+    return Errno("recv");
+  }
+}
+
+Status TcpStream::Write(const char* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    Status ready = WaitReady(POLLOUT);
+    if (!ready.ok()) return ready;
+    int fd = fd_.load();
+    if (fd < 0) return Status::IOError("stream closed");
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    ssize_t rc = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void TcpStream::Close() {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);  // unblocks concurrent recv/send
+    ::close(fd);
+  }
+}
+
+Status TcpListener::Listen(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind port " + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
+  return Status::OK();
+}
+
+Status TcpListener::Accept(std::unique_ptr<ByteStream>* stream) {
+  for (;;) {
+    int fd = fd_.load();
+    if (fd < 0) return Status::Unavailable("listener closed");
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      int one = 1;
+      (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *stream = std::make_unique<TcpStream>(conn);
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    // Close() from another thread invalidates the descriptor under us; any
+    // error after that is simply "we are shutting down".
+    if (fd_.load() < 0) return Status::Unavailable("listener closed");
+    if (errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);  // unblocks a concurrent accept
+    ::close(fd);
+  }
+}
+
+Status TcpConnect(const std::string& host, int port,
+                  std::chrono::milliseconds timeout,
+                  std::unique_ptr<ByteStream>* stream) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Errno("socket");
+  }
+  // Non-blocking connect so the handshake honors the caller's timeout
+  // (a down worker must fail fast, not hang the router's dispatcher).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (rc < 0) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLOUT;
+    p.revents = 0;
+    int ms = static_cast<int>(std::max<int64_t>(timeout.count(), 0));
+    rc = ::poll(&p, 1, ms == 0 ? -1 : ms);
+    if (rc == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect " + host + ":" +
+                                      std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      if (err != 0) errno = err;
+      Status s = Errno("connect " + host + ":" + std::to_string(port));
+      ::close(fd);
+      return s;
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);  // back to blocking; poll() paces I/O
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *stream = std::make_unique<TcpStream>(fd);
+  return Status::OK();
+}
+
+}  // namespace gordian

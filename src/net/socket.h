@@ -1,0 +1,81 @@
+#ifndef GORDIAN_NET_SOCKET_H_
+#define GORDIAN_NET_SOCKET_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/byte_stream.h"
+
+namespace gordian {
+
+// A connected TCP socket behind the ByteStream seam. Reads and writes honor
+// the deadline set through SetDeadline (poll() under the hood); Close is
+// safe from another thread and aborts blocked operations via shutdown().
+class TcpStream : public ByteStream {
+ public:
+  // Takes ownership of a connected socket descriptor.
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() override { Close(); }
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  Status ReadSome(char* buf, size_t len, size_t* n) override;
+  Status Write(const char* buf, size_t len) override;
+  void Close() override;
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) override {
+    deadline_ = deadline;
+  }
+
+ private:
+  // Waits until the socket is ready for `events` or the deadline passes.
+  Status WaitReady(short events);
+
+  std::atomic<int> fd_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+};
+
+// A listening TCP socket on 127.0.0.1. The distributed front-end is a
+// loopback/LAN substrate, not an internet-facing server, so the listener
+// binds the loopback interface only.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens on `port`; 0 picks an ephemeral port (see port()).
+  // SO_REUSEADDR is set so a restarted worker can re-bind its old port
+  // immediately.
+  Status Listen(int port);
+
+  // Blocks until a connection arrives or Close() is called from another
+  // thread (then Unavailable is returned and the loop should exit).
+  Status Accept(std::unique_ptr<ByteStream>* stream);
+
+  // The bound port; 0 before Listen succeeds.
+  int port() const { return port_; }
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  int port_ = 0;
+};
+
+// Connects to host:port, failing with DeadlineExceeded if the handshake
+// does not complete within `timeout`. `host` is a dotted quad or name
+// resolvable by getaddrinfo.
+Status TcpConnect(const std::string& host, int port,
+                  std::chrono::milliseconds timeout,
+                  std::unique_ptr<ByteStream>* stream);
+
+}  // namespace gordian
+
+#endif  // GORDIAN_NET_SOCKET_H_

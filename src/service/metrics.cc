@@ -37,6 +37,15 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
     line("ingest rows", s.ingest_rows);
     line("ingest bytes", s.ingest_bytes);
   }
+  if (s.rpcs_in > 0 || s.rpcs_out > 0) {
+    line("rpcs in", s.rpcs_in);
+    line("rpcs out", s.rpcs_out);
+    line("rpc bytes in", s.rpc_bytes_in);
+    line("rpc bytes out", s.rpc_bytes_out);
+    line("rpc sheds", s.rpc_sheds);
+    line("rpc retries", s.rpc_retries);
+    line("worker restarts", s.worker_restarts);
+  }
   std::snprintf(buf, sizeof(buf), "  %-18s %.1f%%\n", "cache hit rate",
                 s.cache_hit_rate() * 100);
   out += buf;

@@ -53,6 +53,24 @@ class ServiceMetrics {
     ingest_bytes_.fetch_add(bytes, kRelaxed);
   }
 
+  // --- Distributed front-end (src/net) ---------------------------------
+  // One frame received / sent, with its framed size (header + payload).
+  void OnRpcIn(int64_t bytes) {
+    rpcs_in_.fetch_add(1, kRelaxed);
+    rpc_bytes_in_.fetch_add(bytes, kRelaxed);
+  }
+  void OnRpcOut(int64_t bytes) {
+    rpcs_out_.fetch_add(1, kRelaxed);
+    rpc_bytes_out_.fetch_add(bytes, kRelaxed);
+  }
+  // A request refused for backpressure: full queue, no healthy worker, or
+  // an exhausted client quota. The reply carried a retry-after hint.
+  void OnRpcShed() { rpc_sheds_.fetch_add(1, kRelaxed); }
+  // A forward re-dispatched after a transport failure (retry with jitter).
+  void OnRpcRetry() { rpc_retries_.fetch_add(1, kRelaxed); }
+  // A worker observed down by health checks and later back up.
+  void OnWorkerRestart() { worker_restarts_.fetch_add(1, kRelaxed); }
+
   // Accumulates one discovery run's per-stage wall clock (pipeline stage
   // names: encode, tree_build, traverse, convert, validate; anything else
   // lands in the "other" bucket).
@@ -94,6 +112,13 @@ class ServiceMetrics {
     int64_t ingest_batches = 0;
     int64_t ingest_rows = 0;
     int64_t ingest_bytes = 0;
+    int64_t rpcs_in = 0;
+    int64_t rpcs_out = 0;
+    int64_t rpc_bytes_in = 0;
+    int64_t rpc_bytes_out = 0;
+    int64_t rpc_sheds = 0;
+    int64_t rpc_retries = 0;
+    int64_t worker_restarts = 0;
     int64_t queue_depth = 0;    // filled in by the service, not a counter
     int64_t running_jobs = 0;   // likewise
     double total_latency_seconds = 0;
@@ -150,6 +175,13 @@ class ServiceMetrics {
     s.ingest_batches = ingest_batches_.load(kRelaxed);
     s.ingest_rows = ingest_rows_.load(kRelaxed);
     s.ingest_bytes = ingest_bytes_.load(kRelaxed);
+    s.rpcs_in = rpcs_in_.load(kRelaxed);
+    s.rpcs_out = rpcs_out_.load(kRelaxed);
+    s.rpc_bytes_in = rpc_bytes_in_.load(kRelaxed);
+    s.rpc_bytes_out = rpc_bytes_out_.load(kRelaxed);
+    s.rpc_sheds = rpc_sheds_.load(kRelaxed);
+    s.rpc_retries = rpc_retries_.load(kRelaxed);
+    s.worker_restarts = worker_restarts_.load(kRelaxed);
     for (int i = 0; i < Snapshot::kNumStages; ++i) {
       s.stage_seconds[i] =
           static_cast<double>(stage_micros_[i].load(kRelaxed)) * 1e-6;
@@ -190,6 +222,13 @@ class ServiceMetrics {
   std::atomic<int64_t> ingest_batches_{0};
   std::atomic<int64_t> ingest_rows_{0};
   std::atomic<int64_t> ingest_bytes_{0};
+  std::atomic<int64_t> rpcs_in_{0};
+  std::atomic<int64_t> rpcs_out_{0};
+  std::atomic<int64_t> rpc_bytes_in_{0};
+  std::atomic<int64_t> rpc_bytes_out_{0};
+  std::atomic<int64_t> rpc_sheds_{0};
+  std::atomic<int64_t> rpc_retries_{0};
+  std::atomic<int64_t> worker_restarts_{0};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_micros_{};
   std::array<std::atomic<int64_t>, Snapshot::kNumStages> stage_runs_{};
   std::atomic<int64_t> total_latency_micros_{0};

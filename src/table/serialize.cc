@@ -21,10 +21,14 @@ class Writer {
 
   void U8(uint8_t v) { os_.put(static_cast<char>(v)); }
   void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+    for (int i = 0; i < 4; ++i) {
+      os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
   }
   void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+    for (int i = 0; i < 8; ++i) {
+      os_.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
   }
   void Str(const std::string& s) {
     U32(static_cast<uint32_t>(s.size()));
@@ -132,9 +136,7 @@ class Reader {
 
 }  // namespace
 
-Status WriteTableFile(const Table& table, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IOError("cannot open " + path + " for writing");
+Status WriteTable(const Table& table, std::ostream& os) {
   os.write(kMagic, 4);
   Writer w(os);
   w.U32(kFormatVersion);
@@ -149,17 +151,23 @@ Status WriteTableFile(const Table& table, const std::string& path) {
     }
     for (uint32_t code : table.column_codes(c)) w.U32(code);
   }
-  if (!os) return Status::IOError("write failed: " + path);
+  if (!os) return Status::IOError("table serialization write failed");
   return Status::OK();
 }
 
-Status ReadTableFile(const std::string& path, Table* out) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IOError("cannot open " + path);
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  Status s = WriteTable(table, os);
+  if (s.ok() && !os) return Status::IOError("write failed: " + path);
+  return s;
+}
+
+Status ReadTable(std::istream& is, Table* out) {
   char magic[4];
   is.read(magic, 4);
   if (is.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("not a gordian table file: " + path);
+    return Status::InvalidArgument("not a gordian table stream");
   }
   Reader r(is);
   uint32_t version, num_cols;
@@ -211,6 +219,16 @@ Status ReadTableFile(const std::string& path, Table* out) {
   }
   *out = builder.Build();
   return Status::OK();
+}
+
+Status ReadTableFile(const std::string& path, Table* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  Status s = ReadTable(is, out);
+  if (!s.ok() && s.code() == Status::Code::kInvalidArgument) {
+    return Status::InvalidArgument(s.message() + ": " + path);
+  }
+  return s;
 }
 
 }  // namespace gordian

@@ -1,6 +1,7 @@
 #ifndef GORDIAN_TABLE_SERIALIZE_H_
 #define GORDIAN_TABLE_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -25,6 +26,14 @@ Status WriteTableFile(const Table& table, const std::string& path);
 
 // Reads a table written by WriteTableFile.
 Status ReadTableFile(const std::string& path, Table* out);
+
+// The same format against an arbitrary stream, so tables can travel through
+// memory as well as files — the RPC layer (src/net) ships a table to its
+// shard-owner worker as exactly these bytes. A table that round-trips
+// through Write/ReadTable reproduces its dictionary code assignment, so its
+// fingerprint (table/fingerprint.h) is identical on both sides of the wire.
+Status WriteTable(const Table& table, std::ostream& os);
+Status ReadTable(std::istream& is, Table* out);
 
 }  // namespace gordian
 

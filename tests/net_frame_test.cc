@@ -1,0 +1,418 @@
+// Fault-injection coverage for the RPC framing and wire codecs of src/net:
+// short reads and writes, mid-frame disconnects, garbage frames, oversized
+// lengths, and codec round-trips — the socket-side counterpart of the
+// catalog crash matrix in catalog_store_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/gordian.h"
+#include "net/byte_stream.h"
+#include "net/frame.h"
+#include "net/wire.h"
+#include "service/key_catalog.h"
+
+namespace gordian {
+namespace {
+
+Frame MakeRequest(uint64_t id, const std::string& payload) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.method = RpcMethod::kProfile;
+  f.request_id = id;
+  f.deadline_millis = 1500;
+  f.payload = payload;
+  return f;
+}
+
+// Serializes `frame` into raw wire bytes via a MemoryStream.
+std::string WireBytes(const Frame& frame) {
+  MemoryStream out;
+  EXPECT_TRUE(WriteFrame(out, frame).ok());
+  return out.output();
+}
+
+KeyDiscoveryResult MakeResult() {
+  KeyDiscoveryResult r;
+  DiscoveredKey k;
+  k.attrs = AttributeSet{0, 2, 5};
+  k.estimated_strength = 0.75;
+  k.exact_strength = 1.0;
+  r.keys.push_back(k);
+  DiscoveredKey k2;
+  k2.attrs = AttributeSet::Single(1);
+  k2.estimated_strength = 1.0;
+  k2.exact_strength = 1.0;
+  r.keys.push_back(k2);
+  r.non_keys.push_back(AttributeSet{3, 4});
+  r.stats.rows_processed = 1234;
+  return r;
+}
+
+// ------------------------------------------------------------------ framing
+
+TEST(Frame, RoundTripsThroughAStream) {
+  Frame in = MakeRequest(42, std::string("hello\0world", 11));
+  MemoryStream pipe(WireBytes(in));
+  Frame out;
+  ASSERT_TRUE(ReadFrame(pipe, &out).ok());
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.type, FrameType::kRequest);
+  EXPECT_EQ(out.method, RpcMethod::kProfile);
+  EXPECT_EQ(out.status_code, Status::Code::kOk);
+  EXPECT_EQ(out.deadline_millis, 1500u);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Frame, SurvivesOneByteReads) {
+  // A TCP peer may deliver a frame in arbitrarily small pieces; ReadExact
+  // must reassemble it regardless of chunking.
+  Frame in = MakeRequest(7, std::string(300, 'x'));
+  in.status_code = Status::Code::kUnavailable;
+  MemoryStream pipe(WireBytes(in), /*max_chunk=*/1);
+  Frame out;
+  ASSERT_TRUE(ReadFrame(pipe, &out).ok());
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(out.status_code, Status::Code::kUnavailable);
+}
+
+TEST(Frame, BackToBackFramesThenCleanEof) {
+  std::string bytes = WireBytes(MakeRequest(1, "a")) +
+                      WireBytes(MakeRequest(2, "bb"));
+  MemoryStream pipe(bytes, /*max_chunk=*/5);
+  Frame out;
+  ASSERT_TRUE(ReadFrame(pipe, &out).ok());
+  EXPECT_EQ(out.request_id, 1u);
+  ASSERT_TRUE(ReadFrame(pipe, &out).ok());
+  EXPECT_EQ(out.request_id, 2u);
+  // The stream ends exactly on a frame boundary: that is a peer hanging up
+  // politely, reported as NotFound so server loops exit quietly.
+  Status s = ReadFrame(pipe, &out);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(Frame, EveryTruncationPointIsTornOrClean) {
+  // Cut the two-frame byte stream at every possible offset. A cut at 0 or
+  // exactly between frames is a clean hang-up (NotFound); anywhere else is
+  // a torn frame (IOError). Nothing may succeed past the cut, and nothing
+  // may be misread as garbage (InvalidArgument) — truncation is a
+  // transport problem, not a protocol violation.
+  const std::string first = WireBytes(MakeRequest(1, "payload-one"));
+  const std::string bytes = first + WireBytes(MakeRequest(2, "payload-two"));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    MemoryStream pipe(bytes.substr(0, cut), /*max_chunk=*/3);
+    Frame out;
+    Status s = ReadFrame(pipe, &out);
+    if (cut < first.size()) {
+      if (cut == 0) {
+        EXPECT_EQ(s.code(), Status::Code::kNotFound) << "cut at " << cut;
+      } else {
+        EXPECT_EQ(s.code(), Status::Code::kIOError) << "cut at " << cut;
+      }
+      continue;
+    }
+    ASSERT_TRUE(s.ok()) << "cut at " << cut << ": " << s.ToString();
+    s = ReadFrame(pipe, &out);
+    if (cut == first.size()) {
+      EXPECT_EQ(s.code(), Status::Code::kNotFound) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(s.code(), Status::Code::kIOError) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(Frame, RejectsGarbage) {
+  Frame out;
+  // Bad magic.
+  std::string bytes = WireBytes(MakeRequest(1, "x"));
+  bytes[0] = 'X';
+  {
+    MemoryStream pipe(bytes);
+    EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+  }
+  // Unknown frame type.
+  bytes = WireBytes(MakeRequest(1, "x"));
+  bytes[16] = 9;
+  {
+    MemoryStream pipe(bytes);
+    EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+  }
+  // Unknown method.
+  bytes = WireBytes(MakeRequest(1, "x"));
+  bytes[17] = 0;
+  {
+    MemoryStream pipe(bytes);
+    EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+  }
+  // Nonzero reserved byte.
+  bytes = WireBytes(MakeRequest(1, "x"));
+  bytes[19] = 1;
+  {
+    MemoryStream pipe(bytes);
+    EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+  }
+  // Pure noise.
+  {
+    MemoryStream pipe(std::string(64, '\xAB'));
+    EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(Frame, RejectsOversizedLengthWithoutAllocating) {
+  // A corrupt or hostile length field must be refused from the header
+  // alone — the 4 GiB payload it promises is never read or allocated.
+  std::string bytes = WireBytes(MakeRequest(1, "x"));
+  bytes[4] = '\xFF';
+  bytes[5] = '\xFF';
+  bytes[6] = '\xFF';
+  bytes[7] = '\xFF';
+  MemoryStream pipe(bytes);
+  Frame out;
+  EXPECT_EQ(ReadFrame(pipe, &out).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Frame, RefusesToWriteOversizedPayload) {
+  Frame f = MakeRequest(1, "");
+  f.payload.resize(kMaxFramePayload + 1);
+  MemoryStream out;
+  EXPECT_EQ(WriteFrame(out, f).code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(out.output().empty());
+}
+
+TEST(Frame, StatusCodesSurviveTheWire) {
+  const Status::Code codes[] = {
+      Status::Code::kOk,          Status::Code::kInvalidArgument,
+      Status::Code::kNotFound,    Status::Code::kIOError,
+      Status::Code::kOutOfRange,  Status::Code::kUnsupported,
+      Status::Code::kPartial,     Status::Code::kUnavailable,
+      Status::Code::kDeadlineExceeded,
+  };
+  for (Status::Code code : codes) {
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
+  }
+  // A wire byte from a newer protocol decodes as a transport problem.
+  EXPECT_EQ(StatusCodeFromWire(200), Status::Code::kIOError);
+}
+
+// --------------------------------------------------------- injected faults
+
+TEST(Frame, InjectedReadErrorSurfacesAsIs) {
+  MemoryStream base(WireBytes(MakeRequest(5, "abcdef")));
+  FaultInjectionStream faulty(&base);
+  NetFaultSpec spec;
+  spec.op = NetOp::kRead;
+  spec.countdown_bytes = 10;  // inside the header
+  spec.kind = NetFaultSpec::Kind::kError;
+  spec.message = "cable cut";
+  faulty.Arm(spec);
+  Frame out;
+  Status s = ReadFrame(faulty, &out);
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+  EXPECT_NE(s.ToString().find("cable cut"), std::string::npos);
+  EXPECT_TRUE(faulty.fired());
+}
+
+TEST(Frame, MidPayloadDisconnectIsATornFrame) {
+  MemoryStream base(WireBytes(MakeRequest(5, std::string(100, 'p'))));
+  FaultInjectionStream faulty(&base);
+  NetFaultSpec spec;
+  spec.op = NetOp::kRead;
+  spec.countdown_bytes = kFrameHeaderBytes + 40;  // mid-payload
+  spec.kind = NetFaultSpec::Kind::kDisconnect;
+  faulty.Arm(spec);
+  Frame out;
+  EXPECT_EQ(ReadFrame(faulty, &out).code(), Status::Code::kIOError);
+}
+
+TEST(Frame, DisconnectBeforeAnyByteIsClean) {
+  MemoryStream base(WireBytes(MakeRequest(5, "x")));
+  FaultInjectionStream faulty(&base);
+  NetFaultSpec spec;
+  spec.op = NetOp::kRead;
+  spec.countdown_bytes = 0;
+  spec.kind = NetFaultSpec::Kind::kDisconnect;
+  faulty.Arm(spec);
+  Frame out;
+  EXPECT_EQ(ReadFrame(faulty, &out).code(), Status::Code::kNotFound);
+}
+
+TEST(Frame, ShortWriteFailsTheSend) {
+  // The peer sees only a prefix; the sender must see a failure rather than
+  // believe the frame went out.
+  MemoryStream base;
+  FaultInjectionStream faulty(&base);
+  NetFaultSpec spec;
+  spec.op = NetOp::kWrite;
+  spec.countdown_bytes = 12;
+  spec.kind = NetFaultSpec::Kind::kError;
+  faulty.Arm(spec);
+  Status s = WriteFrame(faulty, MakeRequest(9, "some payload"));
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+  // The torn prefix reached the wire — exactly `countdown_bytes` of it.
+  EXPECT_EQ(base.output().size(), 12u);
+  // And the reader on the far side sees a torn frame.
+  MemoryStream reader(base.output());
+  Frame out;
+  EXPECT_EQ(ReadFrame(reader, &out).code(), Status::Code::kIOError);
+}
+
+// -------------------------------------------------------------- wire codecs
+
+TEST(Wire, ProfileRequestRoundTrip) {
+  ProfileRequest in;
+  in.fingerprint = 0xDEADBEEFCAFEF00Dull;
+  in.client_id = "tenant-7";
+  in.table_name = "orders";
+  in.priority = 3;
+  in.use_catalog = false;
+  in.use_tree_cache = true;
+  in.sample_rows = 1000;
+  in.sample_seed = 99;
+  in.table_bytes = std::string("GRDT\x01\x02\x03", 7);
+  std::string bytes;
+  EncodeProfileRequest(in, &bytes);
+
+  ProfileRequest out;
+  ASSERT_TRUE(DecodeProfileRequest(bytes, &out).ok());
+  EXPECT_EQ(out.fingerprint, in.fingerprint);
+  EXPECT_EQ(out.client_id, in.client_id);
+  EXPECT_EQ(out.table_name, in.table_name);
+  EXPECT_EQ(out.priority, in.priority);
+  EXPECT_EQ(out.use_catalog, in.use_catalog);
+  EXPECT_EQ(out.use_tree_cache, in.use_tree_cache);
+  EXPECT_EQ(out.sample_rows, in.sample_rows);
+  EXPECT_EQ(out.sample_seed, in.sample_seed);
+  EXPECT_EQ(out.table_bytes, in.table_bytes);
+
+  // The router's fast path: fingerprint + client id from the prefix alone.
+  uint64_t fp = 0;
+  std::string client;
+  ASSERT_TRUE(DecodeProfileRequestPrefix(bytes, &fp, &client).ok());
+  EXPECT_EQ(fp, in.fingerprint);
+  EXPECT_EQ(client, in.client_id);
+}
+
+TEST(Wire, ProfileResponseRoundTripIncludingIncomplete) {
+  ProfileResponse in;
+  in.fingerprint = 17;
+  in.cache_hit = true;
+  in.follower_hit = true;
+  in.served_by = "owner-08-15";
+  in.result = MakeResult();
+  in.result.incomplete = true;
+  in.result.incomplete_reason = AbortReason::kTimeBudget;
+  std::string bytes;
+  EncodeProfileResponse(in, &bytes);
+
+  ProfileResponse out;
+  ASSERT_TRUE(DecodeProfileResponse(bytes, &out).ok());
+  EXPECT_EQ(out.fingerprint, 17u);
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_TRUE(out.follower_hit);
+  EXPECT_FALSE(out.tree_cache_hit);
+  EXPECT_EQ(out.served_by, "owner-08-15");
+  EXPECT_TRUE(out.result.incomplete);
+  EXPECT_EQ(out.result.incomplete_reason, AbortReason::kTimeBudget);
+  ASSERT_EQ(out.result.keys.size(), 2u);
+  EXPECT_EQ(out.result.keys[0].attrs, in.result.keys[0].attrs);
+  EXPECT_DOUBLE_EQ(out.result.keys[0].estimated_strength, 0.75);
+  EXPECT_EQ(out.result.non_keys, in.result.non_keys);
+}
+
+TEST(Wire, HealthInfoRoundTrip) {
+  HealthInfo in;
+  in.role = HealthInfo::Role::kRouter;
+  in.accepting = false;
+  in.shard_first = 4;
+  in.shard_last = 11;
+  in.queue_depth = 12;
+  in.running_jobs = 3;
+  in.active_rpcs = 5;
+  in.catalog_entries = 999;
+  in.workers_up = 2;
+  in.workers_total = 3;
+  std::string bytes;
+  EncodeHealthInfo(in, &bytes);
+  HealthInfo out;
+  ASSERT_TRUE(DecodeHealthInfo(bytes, &out).ok());
+  EXPECT_EQ(out.role, HealthInfo::Role::kRouter);
+  EXPECT_FALSE(out.accepting);
+  EXPECT_EQ(out.shard_first, 4);
+  EXPECT_EQ(out.shard_last, 11);
+  EXPECT_EQ(out.queue_depth, 12);
+  EXPECT_EQ(out.running_jobs, 3);
+  EXPECT_EQ(out.active_rpcs, 5);
+  EXPECT_EQ(out.catalog_entries, 999);
+  EXPECT_EQ(out.workers_up, 2);
+  EXPECT_EQ(out.workers_total, 3);
+}
+
+TEST(Wire, DecodersRejectTruncationAtEveryOffset) {
+  // Like the framing truncation matrix, but for the payload codecs: any
+  // proper prefix must decode to InvalidArgument, never crash or succeed.
+  ProfileRequest req;
+  req.fingerprint = 123;
+  req.client_id = "c";
+  req.table_name = "t";
+  req.table_bytes = "0123456789";
+  std::string bytes;
+  EncodeProfileRequest(req, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    ProfileRequest out;
+    EXPECT_EQ(DecodeProfileRequest(bytes.substr(0, cut), &out).code(),
+              Status::Code::kInvalidArgument)
+        << "cut at " << cut;
+  }
+
+  ProfileResponse resp;
+  resp.result = MakeResult();
+  bytes.clear();
+  EncodeProfileResponse(resp, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    ProfileResponse out;
+    EXPECT_EQ(DecodeProfileResponse(bytes.substr(0, cut), &out).code(),
+              Status::Code::kInvalidArgument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Wire, DecodersSurviveNoise) {
+  // Random-ish bytes must come back as InvalidArgument, not allocate wildly
+  // or crash. Derives the noise deterministically so failures reproduce.
+  uint64_t x = 88172645463325252ull;
+  for (int round = 0; round < 200; ++round) {
+    std::string noise;
+    for (int i = 0; i < 64; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      noise.push_back(static_cast<char>(x & 0xFF));
+    }
+    ProfileRequest req;
+    EXPECT_FALSE(DecodeProfileRequest(noise, &req).ok());
+    ProfileResponse resp;
+    EXPECT_FALSE(DecodeProfileResponse(noise, &resp).ok());
+    HealthInfo info;
+    EXPECT_FALSE(DecodeHealthInfo(noise, &info).ok());
+  }
+}
+
+TEST(Wire, ParseShardRange) {
+  int first = -1, last = -1;
+  ASSERT_TRUE(ParseShardRange("0-7", &first, &last).ok());
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(last, 7);
+  ASSERT_TRUE(ParseShardRange("15", &first, &last).ok());
+  EXPECT_EQ(first, 15);
+  EXPECT_EQ(last, 15);
+  EXPECT_FALSE(ParseShardRange("", &first, &last).ok());
+  EXPECT_FALSE(ParseShardRange("7-0", &first, &last).ok());
+  EXPECT_FALSE(ParseShardRange("0-16", &first, &last).ok());
+  EXPECT_FALSE(ParseShardRange("a-b", &first, &last).ok());
+  EXPECT_FALSE(ParseShardRange("1-2-3", &first, &last).ok());
+}
+
+}  // namespace
+}  // namespace gordian

@@ -1,0 +1,280 @@
+// Multi-process integration test for the distributed profiling front-end:
+// a router and two shard-owner workers run as real OS processes (the
+// profile_service_demo binary in --serve/--route mode), a client drives
+// load through the router, one worker is SIGKILLed mid-load and later
+// restarted on the same port, and every accepted request must still return
+// a report byte-identical to a local single-process run — no wrong
+// answers, no torn reports, no hangs.
+//
+// The demo binary's path arrives via the GORDIAN_DEMO_BIN compile
+// definition (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "service/fault_fs.h"
+#include "service/profiling_service.h"
+#include "table/fingerprint.h"
+
+#ifndef GORDIAN_DEMO_BIN
+#error "GORDIAN_DEMO_BIN must point at the profile_service_demo binary"
+#endif
+
+namespace gordian {
+namespace {
+
+Table MakeTable(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec = UniformSpec(6, rows, 24, 0.5, seed);
+  spec.columns[0].cardinality = 256;
+  spec.columns[2].cardinality = 64;
+  spec.planted_keys.push_back({0, 2});
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  EXPECT_TRUE(s.ok());
+  return t;
+}
+
+// The byte-identity yardstick: two results are the same iff their wire
+// encodings are the same bytes.
+std::string ResultBytes(const KeyDiscoveryResult& result) {
+  std::string bytes;
+  EncodeDiscoveryResult(result, &bytes);
+  return bytes;
+}
+
+pid_t Spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  std::string bin = GORDIAN_DEMO_BIN;
+  argv.push_back(bin.data());
+  std::vector<std::string> owned = args;
+  for (std::string& a : owned) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    _exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0);
+  return pid;
+}
+
+// Polls for the port file a spawned daemon publishes by atomic rename.
+int WaitForPort(const std::string& path) {
+  FileSystem* fs = DefaultFileSystem();
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < give_up) {
+    std::string text;
+    if (fs->ReadFile(path, &text).ok()) {
+      int port = std::atoi(text.c_str());
+      if (port > 0) return port;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+void KillAndReap(pid_t pid, int sig) {
+  if (pid <= 0) return;
+  kill(pid, sig);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+class NetIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/gordian_net_itest_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    KillAndReap(router_pid_, SIGTERM);
+    KillAndReap(worker1_pid_, SIGTERM);
+    KillAndReap(worker2_pid_, SIGTERM);
+    // Best-effort scrub of the scratch directory.
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)system(cmd.c_str());
+  }
+
+  pid_t SpawnWorker(const std::string& shards, int port,
+                    const std::string& port_file) {
+    return Spawn({"--serve", "--shards=" + shards,
+                  "--port=" + std::to_string(port),
+                  "--catalog-root=" + dir_ + "/catalogs", "--threads=2",
+                  "--port-file=" + port_file});
+  }
+
+  std::string dir_;
+  pid_t router_pid_ = 0;
+  pid_t worker1_pid_ = 0;
+  pid_t worker2_pid_ = 0;
+};
+
+TEST_F(NetIntegrationTest, SurvivesWorkerKillAndRestartWithIdenticalReports) {
+  // --- local baseline: the answer every remote report must match ---------
+  constexpr int kNumTables = 10;
+  constexpr int64_t kRows = 400;
+  std::vector<Table> tables;
+  std::vector<std::string> baseline;
+  {
+    ProfilingService local;
+    for (int i = 0; i < kNumTables; ++i) {
+      tables.push_back(MakeTable(kRows, 7000 + i));
+    }
+    for (int i = 0; i < kNumTables; ++i) {
+      ProfileOutcome out =
+          local.Wait(local.SubmitTable("t" + std::to_string(i), &tables[i]));
+      ASSERT_EQ(out.info.state, JobState::kSucceeded);
+      baseline.push_back(ResultBytes(out.result));
+    }
+  }
+
+  // --- bring up the fleet: two workers, then the router ------------------
+  worker1_pid_ = SpawnWorker("0-7", 0, dir_ + "/w1.port");
+  worker2_pid_ = SpawnWorker("8-15", 0, dir_ + "/w2.port");
+  const int w1_port = WaitForPort(dir_ + "/w1.port");
+  const int w2_port = WaitForPort(dir_ + "/w2.port");
+  ASSERT_GT(w1_port, 0) << "worker 1 never published its port";
+  ASSERT_GT(w2_port, 0) << "worker 2 never published its port";
+
+  router_pid_ = Spawn(
+      {"--route",
+       "--workers=127.0.0.1:" + std::to_string(w1_port) + "/0-7,127.0.0.1:" +
+           std::to_string(w2_port) + "/8-15",
+       "--port-file=" + dir_ + "/router.port"});
+  const int router_port = WaitForPort(dir_ + "/router.port");
+  ASSERT_GT(router_port, 0) << "router never published its port";
+
+  // --- drive load; SIGKILL worker 2 mid-load; restart it -----------------
+  // Client threads profile the tables in a loop until told to stop, so the
+  // load provably spans every phase: both workers up, one worker dead
+  // (failover + retries), and the restarted worker recovering its catalog
+  // from disk. Every accepted reply is checked against the local baseline.
+  constexpr int kClientThreads = 4;
+  std::atomic<bool> stop_load{false};
+  std::atomic<int> accepted{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::mutex failure_mu;
+  std::string first_failure;
+
+  auto client_main = [&](int thread_idx) {
+    ProfileClient client("127.0.0.1", router_port);
+    RemoteProfileOptions options;
+    options.client_id = "load-" + std::to_string(thread_idx);
+    options.max_attempts = 12;
+    options.deadline_millis = 10'000;
+    while (!stop_load.load()) {
+      for (int i = 0; i < kNumTables; ++i) {
+        RemoteOutcome outcome;
+        Status s = client.Profile("t" + std::to_string(i), tables[i],
+                                  options, &outcome);
+        if (!s.ok()) {
+          failures.fetch_add(1);
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (first_failure.empty()) first_failure = s.ToString();
+          continue;
+        }
+        accepted.fetch_add(1);
+        if (ResultBytes(outcome.result) != baseline[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back(client_main, t);
+  }
+
+  // Let the first requests land, then kill worker 2 without warning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  KillAndReap(worker2_pid_, SIGKILL);
+  worker2_pid_ = 0;
+
+  // While the owner of shards 8-15 is dead, a request for one of its
+  // tables must still succeed — served by the survivor via failover — and
+  // still match the baseline exactly.
+  {
+    int high_table = -1;
+    for (int i = 0; i < kNumTables; ++i) {
+      if (KeyCatalog::ShardIndexOf(TableFingerprint(tables[i])) >= 8) {
+        high_table = i;
+        break;
+      }
+    }
+    ASSERT_GE(high_table, 0) << "no table landed in shards 8-15";
+    ProfileClient prober("127.0.0.1", router_port);
+    RemoteProfileOptions options;
+    options.client_id = "prober";
+    options.max_attempts = 12;
+    RemoteOutcome outcome;
+    Status s = prober.Profile("t" + std::to_string(high_table),
+                              tables[high_table], options, &outcome);
+    ASSERT_TRUE(s.ok()) << "failover probe failed: " << s.ToString();
+    EXPECT_EQ(outcome.served_by, "owner-00-07");
+    EXPECT_EQ(ResultBytes(outcome.result), baseline[high_table]);
+  }
+
+  // Restart the dead worker on the SAME port (the router's specs are
+  // fixed) over the same catalog root, and wait until the router's health
+  // probe sees the whole fleet up again.
+  worker2_pid_ = SpawnWorker("8-15", w2_port, dir_ + "/w2-restart.port");
+  ASSERT_EQ(WaitForPort(dir_ + "/w2-restart.port"), w2_port)
+      << "restarted worker could not rebind its port";
+  {
+    ProfileClient router_probe("127.0.0.1", router_port);
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      HealthInfo info;
+      if (router_probe.Health(&info).ok() && info.workers_up == 2) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+          << "router never saw the restarted worker come back";
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // One more spell of load against the healed fleet, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop_load.store(true);
+  for (std::thread& t : clients) t.join();
+
+  // Every accepted request returned the exact local result, and with
+  // generous retries no request was given up on — across the kill, the
+  // outage, and the restart.
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0) << "first failure: " << first_failure;
+  EXPECT_GE(accepted.load(), kClientThreads * kNumTables);
+
+  // The restarted owner answers again, from its recovered catalog: a
+  // direct request for the high-shard table is a catalog hit, not a
+  // rediscovery — SIGKILL lost nothing that had been flushed.
+  {
+    ProfileClient direct("127.0.0.1", w2_port);
+    HealthInfo info;
+    ASSERT_TRUE(direct.Health(&info).ok());
+    EXPECT_EQ(info.shard_first, 8);
+    EXPECT_EQ(info.shard_last, 15);
+  }
+}
+
+}  // namespace
+}  // namespace gordian
