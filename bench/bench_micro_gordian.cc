@@ -18,8 +18,11 @@
 #include "common/attribute_set.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "core/frozen_tree.h"
 #include "core/gordian.h"
+#include "core/non_key_finder.h"
 #include "core/non_key_set.h"
+#include "core/pipeline.h"
 #include "core/prefix_tree.h"
 #include "datagen/opic_like.h"
 #include "datagen/synthetic.h"
@@ -186,6 +189,39 @@ void BM_FindKeysParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_FindKeysParallel)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+Table MakeSliceHeavyTable();  // defined with the JSON helpers below
+
+// Warm traversal (the tree-cache-hit shape): the tree — and for the frozen
+// mode its flat layout — already exists; each iteration pays only the
+// non-key search, with merge intermediates in a private pool, exactly like
+// a service job hitting the TreeArtifactCache. Arg(0): 0 = pointer
+// NonKeyFinder, 1 = FrozenNonKeyFinder.
+void BM_TraverseWarm(benchmark::State& state) {
+  static Table t = MakeSliceHeavyTable();
+  static PrefixTree tree =
+      PrefixTree::Build(t, SchemaOrder(t), GordianOptions::TreeBuild::kSorted);
+  static std::unique_ptr<FrozenTree> frozen = FrozenTree::Freeze(tree);
+  GordianOptions o;
+  for (auto _ : state) {
+    GordianStats stats;
+    NonKeySet set(&stats);
+    PrefixTree::NodePool merge_pool;
+    if (state.range(0) == 0) {
+      NonKeyFinder finder(tree, o, &set, &stats);
+      finder.SetMergePool(&merge_pool);
+      benchmark::DoNotOptimize(finder.Run());
+    } else {
+      FrozenNonKeyFinder finder(*frozen, o, &set, &stats);
+      finder.SetMergePool(&merge_pool);
+      benchmark::DoNotOptimize(finder.Run());
+    }
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+  state.SetLabel(state.range(0) == 0 ? "pointer" : "frozen");
+}
+BENCHMARK(BM_TraverseWarm)->Arg(0)->Arg(1);
+
 // One timed FindKeys configuration for the JSON summary: best wall time of
 // `reps` runs plus the reported peak bytes of the last run.
 struct KernelSample {
@@ -250,6 +286,54 @@ void WriteDatasetJson(std::ostream& os, const std::string& name,
   os << "     ]}";
 }
 
+// Best-of-`reps` wall time of one warm traversal (tree prebuilt; frozen
+// mode also has the flat layout prebuilt — the tree-cache-hit shape).
+template <typename TreeT, typename FinderT>
+double MeasureWarmTraversal(TreeT& tree, int reps) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    GordianOptions o;
+    GordianStats stats;
+    NonKeySet set(&stats);
+    PrefixTree::NodePool merge_pool;
+    FinderT finder(tree, o, &set, &stats);
+    finder.SetMergePool(&merge_pool);
+    Stopwatch watch;
+    finder.Run();
+    const double secs = watch.ElapsedSeconds();
+    if (i == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+// Frozen-vs-pointer traversal summary over one dataset: warm wall times of
+// both representations on the same tree, the freeze pass's one-time cost,
+// and the flat layout's footprint.
+void WriteFrozenDatasetJson(std::ostream& os, const std::string& name,
+                            const Table& t, int reps) {
+  PrefixTree tree =
+      PrefixTree::Build(t, SchemaOrder(t), GordianOptions::TreeBuild::kSorted);
+  Stopwatch freeze_watch;
+  std::unique_ptr<FrozenTree> frozen = FrozenTree::Freeze(tree);
+  const double freeze_seconds = freeze_watch.ElapsedSeconds();
+
+  const double pointer_secs =
+      MeasureWarmTraversal<PrefixTree, NonKeyFinder>(tree, reps);
+  const double frozen_secs =
+      MeasureWarmTraversal<FrozenTree, FrozenNonKeyFinder>(*frozen, reps);
+
+  os << "    {\"name\": \"" << name << "\", \"rows\": " << t.num_rows()
+     << ", \"attributes\": " << t.num_columns() << ",\n"
+     << "     \"pointer_wall_seconds\": " << pointer_secs
+     << ", \"frozen_wall_seconds\": " << frozen_secs
+     << ", \"speedup\": "
+     << (frozen_secs > 0 ? pointer_secs / frozen_secs : 0) << ",\n"
+     << "     \"freeze_wall_seconds\": " << freeze_seconds
+     << ", \"frozen_bytes\": " << frozen->ApproxBytes()
+     << ", \"bytes_per_node\": " << frozen->BytesPerNode()
+     << ", \"nodes\": " << frozen->node_count() << "}";
+}
+
 // Serial-vs-parallel kernel summary, one JSON object per dataset and
 // configuration. Written after the google-benchmark run so CI can diff wall
 // time and peak bytes across commits without parsing human-oriented output.
@@ -274,7 +358,17 @@ void WriteKernelJson() {
   WriteDatasetJson(os, "uniform_20k_8attr_card32", slice_heavy, kReps);
   os << ",\n";
   WriteDatasetJson(os, "opic_50k_16attr", SharedTable(50000, 16), kReps);
-  os << "\n  ]\n}\n";
+  os << "\n  ],\n"
+     << "  \"frozen_vs_pointer\": {\n"
+     << "   \"config\": \"warm traversal (tree-cache hit): tree and flat "
+        "layout prebuilt, private merge pool, serial\",\n"
+     << "   \"simd_kernel\": \"" << frozen_simd::ActiveKernel() << "\",\n"
+     << "   \"datasets\": [\n";
+  WriteFrozenDatasetJson(os, "uniform_20k_8attr_card32", slice_heavy, kReps);
+  os << ",\n";
+  WriteFrozenDatasetJson(os, "opic_50k_16attr", SharedTable(50000, 16),
+                         kReps);
+  os << "\n   ]\n  }\n}\n";
   std::cout << "wrote " << path << "\n";
 }
 

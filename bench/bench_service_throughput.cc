@@ -16,6 +16,8 @@
 // Usage: bench_service_throughput [--tables=N] [--rows=N] [--repeats=N]
 //                                 [--threads=N] [--net_clients=N]
 //                                 [--net_tables=N] [--net_rows=N]
+//                                 [--net_queue=N] [--net_connections=N]
+//                                 [--net_worker_rpcs=N]
 
 #include <algorithm>
 #include <atomic>
@@ -197,15 +199,15 @@ void WritePipelineJson(int num_tables, int64_t rows, int repeats, int threads,
 // Each client thread owns a disjoint slice of tables (distinct seeds), so
 // no two jobs are identical and neither job coalescing nor a catalog hit
 // can serve one job from another: every job pays serialization, framing,
-// routing, and a real discovery run. The router's per-worker queue is kept
-// deliberately tight so backpressure is part of the measurement — sheds
-// are absorbed by client retries and surface as the shed rate, which is
-// the point of the 1-worker vs 2-worker comparison: the same offered load
-// spread over twice the capacity sheds less.
+// routing, and a real discovery run. Admission caps default to the offered
+// burst (see NetAdmission), so the shed rate reads as a health signal:
+// near zero unless the workers genuinely cannot keep up, with sheds and
+// the retries they drove both surfaced in BENCH_service.json.
 struct NetRun {
   double seconds = 0;
   int64_t jobs = 0;
   int64_t sheds = 0;
+  int64_t shed_retries = 0;
   int64_t transport_retries = 0;
   double shed_rate() const {
     return jobs + sheds > 0
@@ -249,8 +251,20 @@ NetRun RunLocalBaseline(const std::vector<std::vector<gordian::Table>>& slices,
   return run;
 }
 
+// Admission caps for the networked runs, settable from the command line so
+// the same binary can measure both regimes: sized-to-the-burst (the
+// default — every client's one in-flight job fits the router queue, sheds
+// only on real overload) and deliberately tight (--net_queue=1 reproduces
+// the old backpressure-dominated configuration).
+struct NetAdmission {
+  int per_worker_queue = 0;        // router queue depth per worker
+  int per_worker_connections = 2;  // dispatcher connections per worker
+  int worker_max_active_rpcs = 64; // worker-side concurrent-RPC cap
+};
+
 NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
-                    int num_workers, int threads) {
+                    int num_workers, int threads,
+                    const NetAdmission& admission) {
   // Shard-owner workers over loopback, memory-only catalogs (persistence
   // is benched separately), the service's thread budget split across them.
   std::vector<std::unique_ptr<gordian::WorkerDaemon>> workers;
@@ -263,6 +277,7 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
                         ? gordian::KeyCatalog::kNumShards - 1
                         : (w + 1) * span - 1;
     wo.num_threads = std::max(1, threads / num_workers);
+    wo.max_active_rpcs = admission.worker_max_active_rpcs;
     auto daemon = std::make_unique<gordian::WorkerDaemon>(wo);
     gordian::Status s = daemon->Start();
     if (!s.ok()) {
@@ -276,11 +291,10 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
     router_options.workers.push_back(spec);
     workers.push_back(std::move(daemon));
   }
-  // Tight admission: one queued request and two dispatcher connections per
-  // worker, so offered load beyond ~3 in flight per worker sheds instead
-  // of queueing. Short retry-after keeps the retry tax honest but small.
-  router_options.per_worker_queue = 1;
-  router_options.per_worker_connections = 2;
+  // Short retry-after keeps the retry tax honest but small when the caps
+  // do bind.
+  router_options.per_worker_queue = admission.per_worker_queue;
+  router_options.per_worker_connections = admission.per_worker_connections;
   router_options.retry_after_millis = 5;
   gordian::Router router(router_options);
   gordian::Status s = router.Start();
@@ -291,6 +305,7 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
 
   std::atomic<int64_t> jobs{0};
   std::atomic<int64_t> sheds{0};
+  std::atomic<int64_t> shed_retries{0};
   std::atomic<int64_t> retries{0};
   gordian::Stopwatch watch;
   std::vector<std::thread> clients;
@@ -313,6 +328,7 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
         }
         jobs.fetch_add(1);
         sheds.fetch_add(outcome.sheds);
+        shed_retries.fetch_add(outcome.shed_retries);
         retries.fetch_add(outcome.transport_retries);
       }
     });
@@ -322,6 +338,7 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
   run.seconds = watch.ElapsedSeconds();
   run.jobs = jobs.load();
   run.sheds = sheds.load();
+  run.shed_retries = shed_retries.load();
   run.transport_retries = retries.load();
   router.Stop();
   for (auto& w : workers) w->Stop();
@@ -329,8 +346,8 @@ NetRun RunNetworked(const std::vector<std::vector<gordian::Table>>& slices,
 }
 
 void WriteServiceJson(int clients, int per_client, int64_t rows, int threads,
-                      const NetRun& local, const NetRun& one,
-                      const NetRun& two) {
+                      const NetAdmission& admission, const NetRun& local,
+                      const NetRun& one, const NetRun& two) {
   const char* env_path = std::getenv("GORDIAN_BENCH_SERVICE_JSON");
   const std::string path = (env_path != nullptr && *env_path != '\0')
                                ? env_path
@@ -346,6 +363,7 @@ void WriteServiceJson(int clients, int per_client, int64_t rows, int threads,
        << "     \"jobs_per_second\": "
        << (r.seconds > 0 ? r.jobs / r.seconds : 0) << ",\n"
        << "     \"sheds\": " << r.sheds << ",\n"
+       << "     \"shed_retries\": " << r.shed_retries << ",\n"
        << "     \"transport_retries\": " << r.transport_retries << ",\n"
        << "     \"shed_rate\": " << r.shed_rate() << "}"
        << (last ? "\n" : ",\n");
@@ -356,6 +374,11 @@ void WriteServiceJson(int clients, int per_client, int64_t rows, int threads,
      << "  \"tables_per_client\": " << per_client << ",\n"
      << "  \"rows\": " << rows << ",\n"
      << "  \"threads\": " << threads << ",\n"
+     << "  \"per_worker_queue\": " << admission.per_worker_queue << ",\n"
+     << "  \"per_worker_connections\": " << admission.per_worker_connections
+     << ",\n"
+     << "  \"worker_max_active_rpcs\": " << admission.worker_max_active_rpcs
+     << ",\n"
      << "  \"jobs\": " << local.jobs << ",\n"
      << "  \"configurations\": [\n";
   config("local_in_process", local, false);
@@ -523,6 +546,17 @@ int main(int argc, char** argv) {
   const int net_clients = static_cast<int>(flags.GetInt("net_clients", 6));
   const int net_tables = static_cast<int>(flags.GetInt("net_tables", 6));
   const int64_t net_rows = flags.GetInt("net_rows", 2000);
+  // Each client keeps one job in flight, so a queue of net_clients admits
+  // the whole burst even when one worker owns every shard; sheds then only
+  // appear under real overload. --net_queue=1 reproduces the old
+  // deliberately-tight regime where the shed rate itself was the subject.
+  NetAdmission admission;
+  admission.per_worker_queue =
+      static_cast<int>(flags.GetInt("net_queue", net_clients));
+  admission.per_worker_connections =
+      static_cast<int>(flags.GetInt("net_connections", 2));
+  admission.worker_max_active_rpcs =
+      static_cast<int>(flags.GetInt("net_worker_rpcs", 64));
   gordian::bench::Banner(
       "networked front-end",
       "router + shard-owner workers over loopback vs in-process service");
@@ -530,8 +564,10 @@ int main(int argc, char** argv) {
     std::vector<std::vector<gordian::Table>> slices =
         MakeClientSlices(net_clients, net_tables, net_rows);
     const NetRun local = RunLocalBaseline(slices, max_threads);
-    const NetRun one = RunNetworked(slices, /*num_workers=*/1, max_threads);
-    const NetRun two = RunNetworked(slices, /*num_workers=*/2, max_threads);
+    const NetRun one =
+        RunNetworked(slices, /*num_workers=*/1, max_threads, admission);
+    const NetRun two =
+        RunNetworked(slices, /*num_workers=*/2, max_threads, admission);
 
     SeriesPrinter np({"configuration", "seconds", "jobs/sec", "sheds",
                       "shed rate", "vs local"});
@@ -552,8 +588,8 @@ int main(int argc, char** argv) {
                 "2 workers vs 1: %.2fx\n",
                 net_clients, net_tables, static_cast<long long>(net_rows),
                 one.seconds / local.seconds, one.seconds / two.seconds);
-    WriteServiceJson(net_clients, net_tables, net_rows, max_threads, local,
-                     one, two);
+    WriteServiceJson(net_clients, net_tables, net_rows, max_threads,
+                     admission, local, one, two);
   }
   return 0;
 }

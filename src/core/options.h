@@ -88,6 +88,16 @@ struct GordianOptions {
   // the profiling service to cancel in-flight jobs without killing threads.
   const std::atomic<bool>* cancel_flag = nullptr;
 
+  // Traversal representation. When true (the default), the built prefix
+  // tree is flattened into the read-only FrozenTree layout right after the
+  // build phase and the non-key search runs FrozenNonKeyFinder's
+  // contiguous-span kernels instead of chasing Node/Cell pointers; results
+  // are byte-identical either way. False forces the pointer-tree traversal
+  // (the equivalence tests pin their baseline this way). The GORDIAN_FROZEN
+  // environment variable (set to 0) disables freezing process-wide on top
+  // of this flag.
+  bool frozen_traversal = true;
+
   // Intra-query parallelism: number of worker threads over which FindKeys
   // fans out the root's top-level slices of the traversal (each worker runs
   // a private NonKeyFinder; discovered non-keys are exchanged through a
@@ -136,6 +146,14 @@ struct GordianStats {
 
   // Worker threads the find phase actually used (0 = serial traversal).
   int64_t traversal_threads_used = 0;
+
+  // Frozen-representation accounting: whether the find phase ran over a
+  // FrozenTree, the flat layout's byte footprint, and the wall clock of the
+  // freeze pass (0 when a prebuilt frozen artifact was injected — a
+  // TreeArtifactCache hit pays the freeze once at insert).
+  bool frozen_traversal_used = false;
+  int64_t frozen_tree_bytes = 0;
+  double freeze_seconds = 0;
 
   // Wall-clock per phase.
   double build_seconds = 0;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "core/frozen_tree.h"
 #include "core/non_key_set.h"
 #include "core/options.h"
 #include "core/prefix_tree.h"
@@ -85,6 +86,21 @@ ParallelTraversalResult ParallelFindNonKeys(
     PrefixTree& tree, const GordianOptions& options, int threads,
     NonKeySet* merged, GordianStats* stats,
     PrefixTree::NodePool* root_merge_pool = nullptr);
+
+// Frozen-layout twin: the same fan-out, with each worker (and the final
+// serial root merge) running FrozenNonKeyFinder over the flat representation
+// instead of a pointer-chasing NonKeyFinder. Produces the same antichain and
+// the same traversal counters as both the serial frozen traversal and the
+// pointer-tree parallel traversal. `root_merge_pool` is required here: a
+// FrozenTree carries no NodePool of its own, so the caller must say where
+// merge intermediates of the root pass are accounted (the owning tree's pool,
+// or a private pool for shared cache artifacts). Workers' slice traversals
+// mutate disjoint ranges of the frozen reference-count array and restore them
+// before returning, exactly like the pointer mode's ref_count discipline.
+ParallelTraversalResult ParallelFindNonKeys(
+    FrozenTree& tree, const GordianOptions& options, int threads,
+    NonKeySet* merged, GordianStats* stats,
+    PrefixTree::NodePool* root_merge_pool);
 
 }  // namespace gordian
 

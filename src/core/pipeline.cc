@@ -103,7 +103,18 @@ void FinishTraversal(ProfileContext* ctx, const Stopwatch& watch,
     ctx->result.stats.peak_memory_bytes +=
         ctx->external_merge_pool.peak_bytes();
   }
+  if (ctx->frozen != nullptr) {
+    ctx->result.stats.peak_memory_bytes += ctx->frozen->ApproxBytes();
+  }
   if (ctx->result.incomplete) ctx->finished = true;
+}
+
+// The merge-intermediate pool for a frozen traversal: the run's own tree
+// pool when the tree is this run's (its peak is already what FinishTraversal
+// reports), the external pool when the tree — and therefore its pool — is a
+// shared cache artifact that must come back untouched.
+PrefixTree::NodePool* FrozenMergePool(ProfileContext* ctx) {
+  return ctx->tree_external ? &ctx->external_merge_pool : &ctx->tree->pool();
 }
 
 }  // namespace
@@ -113,6 +124,10 @@ int ResolveTraversalThreads(const GordianOptions& options) {
   if (threads == 0) threads = EnvTraversalThreads();
   if (threads < 0) threads = 0;  // explicit "force serial"
   return threads;
+}
+
+bool ResolveFrozenTraversal(const GordianOptions& options) {
+  return options.frozen_traversal && FrozenTreesEnabled();
 }
 
 Status EncodeStage::Run(ProfileContext* ctx) {
@@ -220,6 +235,21 @@ Status TreeBuildStage::Run(ProfileContext* ctx) {
     ctx->result.incomplete_reason = AbortReason::kCancelled;
     ctx->result.stats.peak_memory_bytes = tree.pool().peak_bytes();
     ctx->finished = true;
+    return Status::OK();
+  }
+
+  // The tree will not be mutated again (traversal only touches reference
+  // counts), so this is the point where freezing pays: flatten once, let
+  // the traversal stage run the span kernels. A cache hit injects the
+  // prefrozen artifact instead and skips the pass entirely.
+  if (ResolveFrozenTraversal(ctx->options)) {
+    if (ctx->frozen == nullptr) {
+      Stopwatch freeze_watch;
+      ctx->owned_frozen = FrozenTree::Freeze(tree);
+      ctx->frozen = ctx->owned_frozen.get();
+      ctx->result.stats.freeze_seconds = freeze_watch.ElapsedSeconds();
+    }
+    ctx->result.stats.frozen_tree_bytes = ctx->frozen->ApproxBytes();
   }
   return Status::OK();
 }
@@ -228,13 +258,23 @@ Status SerialTraversalStage::Run(ProfileContext* ctx) {
   Stopwatch watch;
   KeyDiscoveryResult& result = ctx->result;
   NonKeySet non_key_set(&result.stats);
-  NonKeyFinder finder(*ctx->tree, ctx->options, &non_key_set, &result.stats);
-  // An externally owned tree must come back byte-identical (other jobs will
-  // reuse it), so merge intermediates go to a private pool — the same
-  // discipline parallel workers already follow.
-  if (ctx->tree_external) finder.SetMergePool(&ctx->external_merge_pool);
-  result.incomplete = !finder.Run();
-  result.incomplete_reason = finder.abort_reason();
+  if (ctx->frozen != nullptr) {
+    FrozenNonKeyFinder finder(*ctx->frozen, ctx->options, &non_key_set,
+                              &result.stats);
+    finder.SetMergePool(FrozenMergePool(ctx));
+    result.stats.frozen_traversal_used = true;
+    result.incomplete = !finder.Run();
+    result.incomplete_reason = finder.abort_reason();
+  } else {
+    NonKeyFinder finder(*ctx->tree, ctx->options, &non_key_set,
+                        &result.stats);
+    // An externally owned tree must come back byte-identical (other jobs
+    // will reuse it), so merge intermediates go to a private pool — the
+    // same discipline parallel workers already follow.
+    if (ctx->tree_external) finder.SetMergePool(&ctx->external_merge_pool);
+    result.incomplete = !finder.Run();
+    result.incomplete_reason = finder.abort_reason();
+  }
   result.stats.final_non_keys = non_key_set.size();
   result.non_keys = non_key_set.non_keys();
   FinishTraversal(ctx, watch, non_key_set.ApproxBytes());
@@ -258,9 +298,17 @@ Status ParallelTraversalStage::Run(ProfileContext* ctx) {
   KeyDiscoveryResult& result = ctx->result;
   NonKeySet merged_set(nullptr);
   ++result.stats.nodes_visited;  // the root, visited once in serial mode
-  ParallelTraversalResult pr = ParallelFindNonKeys(
-      tree, ctx->options, threads_, &merged_set, &result.stats,
-      ctx->tree_external ? &ctx->external_merge_pool : nullptr);
+  ParallelTraversalResult pr;
+  if (ctx->frozen != nullptr) {
+    result.stats.frozen_traversal_used = true;
+    pr = ParallelFindNonKeys(*ctx->frozen, ctx->options, threads_,
+                             &merged_set, &result.stats,
+                             FrozenMergePool(ctx));
+  } else {
+    pr = ParallelFindNonKeys(
+        tree, ctx->options, threads_, &merged_set, &result.stats,
+        ctx->tree_external ? &ctx->external_merge_pool : nullptr);
+  }
   result.incomplete = pr.aborted;
   result.incomplete_reason = pr.reason;
   result.stats.traversal_threads_used = pr.threads_used;
@@ -319,9 +367,14 @@ Status ProfileSession::Run(const Table& table, KeyDiscoveryResult* out) {
     ctx.tree = shared_tree_;
     ctx.tree_external = true;
     shared_tree_ = nullptr;  // one Run per injection
+    if (shared_frozen_ != nullptr && ResolveFrozenTraversal(options_)) {
+      ctx.frozen = shared_frozen_;
+    }
   }
+  shared_frozen_ = nullptr;
   metrics_.clear();
   built_tree_.reset();
+  built_frozen_.reset();
 
   Status status;
   for (const std::unique_ptr<ProfileStage>& stage : plan_.stages()) {
@@ -343,6 +396,7 @@ Status ProfileSession::Run(const Table& table, KeyDiscoveryResult* out) {
     if (!status.ok() || ctx.finished) break;
   }
   built_tree_ = std::move(ctx.owned_tree);
+  built_frozen_ = std::move(ctx.owned_frozen);
   *out = std::move(ctx.result);
   return status;
 }

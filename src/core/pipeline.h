@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/frozen_tree.h"
 #include "core/gordian.h"
 #include "core/options.h"
 #include "core/prefix_tree.h"
@@ -64,6 +65,14 @@ struct ProfileContext {
   PrefixTree* tree = nullptr;
   bool tree_external = false;
   PrefixTree::NodePool external_merge_pool;
+
+  // Frozen counterpart of the tree fields: TreeBuildStage freezes the built
+  // tree when ResolveFrozenTraversal allows (or `frozen` was injected via
+  // ProfileSession::set_shared_frozen_tree alongside the shared pointer
+  // tree); the traversal stages then run FrozenNonKeyFinder. Null when the
+  // frozen path is disabled — traversal falls back to the pointer tree.
+  std::unique_ptr<FrozenTree> owned_frozen;
+  FrozenTree* frozen = nullptr;
 
   // The result being assembled. A stage that concludes the run (duplicate
   // entities, cancellation, aborted traversal, null-projection hand-off)
@@ -188,6 +197,13 @@ class ProfileSession {
   // node reference counts. Cleared after Run.
   void set_shared_tree(PrefixTree* tree) { shared_tree_ = tree; }
 
+  // Companion to set_shared_tree: injects the prefrozen artifact of the
+  // same cached tree, so the run skips the freeze pass too. Only meaningful
+  // together with set_shared_tree; the frozen tree's traversal-mutable
+  // reference counts are restored before Run returns, exactly like the
+  // pointer tree's. Cleared after Run.
+  void set_shared_frozen_tree(FrozenTree* frozen) { shared_frozen_ = frozen; }
+
   // Runs every stage in order (stopping early when a stage concludes the
   // run) and moves the result into *out.
   Status Run(const Table& table, KeyDiscoveryResult* out);
@@ -199,12 +215,21 @@ class ProfileSession {
   // the run used a shared tree, never built one, or was never run).
   std::unique_ptr<PrefixTree> TakeTree() { return std::move(built_tree_); }
 
+  // The frozen flattening the last Run produced (nullptr when the frozen
+  // path was disabled, a prefrozen artifact was injected, or no tree was
+  // built). Callers that cache the tree cache this alongside it.
+  std::unique_ptr<FrozenTree> TakeFrozenTree() {
+    return std::move(built_frozen_);
+  }
+
  private:
   GordianOptions options_;
   ProfilePlan plan_;
   PrefixTree* shared_tree_ = nullptr;
+  FrozenTree* shared_frozen_ = nullptr;
   std::vector<StageMetric> metrics_;
   std::unique_ptr<PrefixTree> built_tree_;
+  std::unique_ptr<FrozenTree> built_frozen_;
 };
 
 // The thread count the default plan resolves for `options`:
@@ -212,6 +237,11 @@ class ProfileSession {
 // negative forces serial. Exposed so callers (service metrics, benches) can
 // report the mode a run will use.
 int ResolveTraversalThreads(const GordianOptions& options);
+
+// Whether a run under `options` freezes the tree and traverses the flat
+// layout: options.frozen_traversal gated by the process-wide GORDIAN_FROZEN
+// escape hatch (see FrozenTreesEnabled).
+bool ResolveFrozenTraversal(const GordianOptions& options);
 
 }  // namespace gordian
 

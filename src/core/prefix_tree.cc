@@ -41,6 +41,11 @@ void PrefixTree::NodePool::Unref(Node* n) {
   if (!n->is_leaf) {
     for (const Cell& c : n->cells) Unref(c.child);
   }
+  Reclaim(n);
+}
+
+void PrefixTree::NodePool::Reclaim(Node* n) {
+  assert(n->ref_count == 0);
   tracker_.Release(static_cast<int64_t>(sizeof(Node)) + n->accounted_bytes);
   n->accounted_bytes = 0;
   n->cells.clear();  // keeps capacity for the next user of this node
@@ -68,7 +73,9 @@ PrefixTree& PrefixTree::operator=(PrefixTree&& other) noexcept {
   attr_order_ = std::move(other.attr_order_);
   num_entities_ = other.num_entities_;
   has_duplicate_entities_ = other.has_duplicate_entities_;
-  cell_count_cache_ = other.cell_count_cache_;
+  cell_count_cache_.store(other.cell_count_cache_.load(
+                              std::memory_order_relaxed),
+                          std::memory_order_relaxed);
   return *this;
 }
 
@@ -76,10 +83,14 @@ PrefixTree PrefixTree::Build(const Table& table,
                              const std::vector<int>& attr_order,
                              GordianOptions::TreeBuild mode) {
   assert(!attr_order.empty());
-  if (mode == GordianOptions::TreeBuild::kInsertion) {
-    return BuildInsertion(table, attr_order);
-  }
-  return BuildSorted(table, attr_order);
+  PrefixTree tree = mode == GordianOptions::TreeBuild::kInsertion
+                        ? BuildInsertion(table, attr_order)
+                        : BuildSorted(table, attr_order);
+  // Fill the cell-count memo while the tree is still private to this
+  // thread: TreeArtifactCache serves built trees to concurrent readers, and
+  // a first-call lazy write would race against them.
+  tree.cell_count();
+  return tree;
 }
 
 PrefixTree PrefixTree::BuildSorted(const Table& table,
@@ -209,9 +220,12 @@ PrefixTree PrefixTree::BuildInsertion(const Table& table,
 int64_t PrefixTree::node_count() const { return pool_->live_nodes(); }
 
 int64_t PrefixTree::cell_count() const {
-  if (cell_count_cache_ >= 0) return cell_count_cache_;
+  const int64_t cached = cell_count_cache_.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached;
   // Walk the tree; with ref counts all 1 in a freshly built tree this visits
-  // each node once.
+  // each node once. Build fills the memo eagerly, so this fallback only runs
+  // single-threaded; concurrent callers would compute and publish the same
+  // value through the atomic anyway.
   int64_t cells = 0;
   std::vector<const Node*> pending = {root_};
   while (!pending.empty()) {
@@ -223,7 +237,7 @@ int64_t PrefixTree::cell_count() const {
       for (const Cell& c : n->cells) pending.push_back(c.child);
     }
   }
-  cell_count_cache_ = cells;
+  cell_count_cache_.store(cells, std::memory_order_relaxed);
   return cells;
 }
 

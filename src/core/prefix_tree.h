@@ -1,6 +1,7 @@
 #ifndef GORDIAN_CORE_PREFIX_TREE_H_
 #define GORDIAN_CORE_PREFIX_TREE_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -85,6 +86,13 @@ class PrefixTree {
     // children) when the count reaches zero.
     void Unref(Node* n);
 
+    // Releases a node whose reference count has already reached zero
+    // WITHOUT touching its children. This is the non-recursive tail of
+    // Unref, exposed for callers that own the child recursion themselves —
+    // the frozen traversal's merge outputs store tagged frozen references
+    // in Cell::child, which Unref would chase as raw pointers.
+    void Reclaim(Node* n);
+
     // Call after appending cells to `n` so capacity growth is accounted.
     void SyncCellBytes(Node* n);
 
@@ -130,10 +138,11 @@ class PrefixTree {
 
   int64_t num_entities() const { return num_entities_; }
   int64_t node_count() const;
-  // Memoized on first call: the base tree's structure is fixed after Build
-  // (traversal only touches reference counts and restores them), so the
-  // walk runs at most once per tree — cached trees served repeatedly by the
-  // TreeArtifactCache answer from the stored count.
+  // Computed eagerly at Build time (the tree's structure is fixed from then
+  // on — traversal only touches reference counts and restores them), so
+  // concurrent readers of a cached tree never race on the memo. The memo is
+  // atomic besides, making even the lazy fallback walk (trees that bypassed
+  // Build) a benign same-value publication rather than a data race.
   int64_t cell_count() const;
 
  private:
@@ -147,7 +156,7 @@ class PrefixTree {
   std::vector<int> attr_order_;
   int64_t num_entities_ = 0;
   bool has_duplicate_entities_ = false;
-  mutable int64_t cell_count_cache_ = -1;
+  mutable std::atomic<int64_t> cell_count_cache_{-1};
 };
 
 // Reusable per-traversal buffers for MergeNodes: one gather/partial pair per

@@ -65,6 +65,9 @@ Status ProfileClient::Profile(const std::string& table_name,
       // Load shed: honor the server's retry-after hint.
       last = reply.remote;
       ++outcome->sheds;
+      if (attempt + 1 < std::max(1, options.max_attempts)) {
+        ++outcome->shed_retries;
+      }
       const uint32_t wait = reply.retry_after_millis > 0
                                 ? reply.retry_after_millis
                                 : static_cast<uint32_t>(

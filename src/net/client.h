@@ -40,6 +40,9 @@ struct RemoteOutcome {
   bool tree_cache_hit = false;
   std::string served_by;     // worker identity that answered
   int sheds = 0;             // backpressure replies absorbed by retrying
+  int shed_retries = 0;      // retries actually driven by those sheds (a
+                             // terminal shed that exhausts attempts is
+                             // counted in sheds but retried by nobody)
   int transport_retries = 0; // reconnects after connection failures
 };
 

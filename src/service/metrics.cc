@@ -21,6 +21,17 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
   line("coalesced jobs", s.coalesced_jobs);
   line("tree cache hits", s.tree_cache_hits);
   line("tree cache misses", s.tree_cache_misses);
+  if (s.trees_frozen > 0 || s.frozen_serves > 0) {
+    line("frozen serves", s.frozen_serves);
+    line("trees frozen", s.trees_frozen);
+    std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "freeze wall",
+                  s.freeze_seconds * 1e3);
+    out += buf;
+    line("frozen bytes", s.frozen_tree_bytes);
+    std::snprintf(buf, sizeof(buf), "  %-18s %.1f\n", "frozen bytes/node",
+                  s.frozen_bytes_per_node());
+    out += buf;
+  }
   line("queue depth", s.queue_depth);
   line("running jobs", s.running_jobs);
   if (s.catalog_flushes > 0 || s.shards_recovered > 0 ||

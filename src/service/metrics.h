@@ -28,6 +28,20 @@ class ServiceMetrics {
   void OnTreeCacheHit() { tree_cache_hits_.fetch_add(1, kRelaxed); }
   void OnTreeCacheMiss() { tree_cache_misses_.fetch_add(1, kRelaxed); }
 
+  // A job's traversal ran over a prefrozen cached artifact (tree-cache hit
+  // whose entry carried a FrozenTree — the run paid neither build nor
+  // freeze).
+  void OnFrozenServe() { frozen_serves_.fetch_add(1, kRelaxed); }
+
+  // One freeze pass: its wall clock, the flat layout's byte footprint, and
+  // the node count it covers (for the bytes-per-node derived figure).
+  void OnTreeFrozen(double seconds, int64_t bytes, int64_t nodes) {
+    trees_frozen_.fetch_add(1, kRelaxed);
+    freeze_micros_.fetch_add(static_cast<int64_t>(seconds * 1e6), kRelaxed);
+    frozen_tree_bytes_.fetch_add(bytes, kRelaxed);
+    frozen_tree_nodes_.fetch_add(nodes, kRelaxed);
+  }
+
   // One CatalogStore::Flush: shards rewritten, clean shards skipped via
   // their dirty bit, and payload bytes that went to disk (a fully warm
   // flush reports 16 skips and zero bytes).
@@ -103,6 +117,11 @@ class ServiceMetrics {
     int64_t coalesced_jobs = 0;
     int64_t tree_cache_hits = 0;
     int64_t tree_cache_misses = 0;
+    int64_t frozen_serves = 0;
+    int64_t trees_frozen = 0;
+    double freeze_seconds = 0;
+    int64_t frozen_tree_bytes = 0;
+    int64_t frozen_tree_nodes = 0;
     int64_t catalog_flushes = 0;
     int64_t shards_flushed = 0;
     int64_t dirty_shard_skips = 0;
@@ -153,6 +172,14 @@ class ServiceMetrics {
                  : static_cast<double>(tree_cache_hits) /
                        static_cast<double>(lookups);
     }
+    // Mean flat-layout footprint per frozen node, across every freeze the
+    // service performed.
+    double frozen_bytes_per_node() const {
+      return frozen_tree_nodes == 0
+                 ? 0
+                 : static_cast<double>(frozen_tree_bytes) /
+                       static_cast<double>(frozen_tree_nodes);
+    }
   };
 
   Snapshot Read() const {
@@ -166,6 +193,12 @@ class ServiceMetrics {
     s.coalesced_jobs = coalesced_jobs_.load(kRelaxed);
     s.tree_cache_hits = tree_cache_hits_.load(kRelaxed);
     s.tree_cache_misses = tree_cache_misses_.load(kRelaxed);
+    s.frozen_serves = frozen_serves_.load(kRelaxed);
+    s.trees_frozen = trees_frozen_.load(kRelaxed);
+    s.freeze_seconds =
+        static_cast<double>(freeze_micros_.load(kRelaxed)) * 1e-6;
+    s.frozen_tree_bytes = frozen_tree_bytes_.load(kRelaxed);
+    s.frozen_tree_nodes = frozen_tree_nodes_.load(kRelaxed);
     s.catalog_flushes = catalog_flushes_.load(kRelaxed);
     s.shards_flushed = shards_flushed_.load(kRelaxed);
     s.dirty_shard_skips = dirty_shard_skips_.load(kRelaxed);
@@ -213,6 +246,11 @@ class ServiceMetrics {
   std::atomic<int64_t> coalesced_jobs_{0};
   std::atomic<int64_t> tree_cache_hits_{0};
   std::atomic<int64_t> tree_cache_misses_{0};
+  std::atomic<int64_t> frozen_serves_{0};
+  std::atomic<int64_t> trees_frozen_{0};
+  std::atomic<int64_t> freeze_micros_{0};
+  std::atomic<int64_t> frozen_tree_bytes_{0};
+  std::atomic<int64_t> frozen_tree_nodes_{0};
   std::atomic<int64_t> catalog_flushes_{0};
   std::atomic<int64_t> shards_flushed_{0};
   std::atomic<int64_t> dirty_shard_skips_{0};

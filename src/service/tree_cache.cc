@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/hashing.h"
+#include "common/stopwatch.h"
 
 namespace gordian {
 
@@ -38,6 +39,10 @@ TreeCacheKey MakeTreeCacheKey(uint64_t fingerprint, int num_columns,
 struct TreeArtifactCache::Lease::Entry {
   TreeCacheKey key;
   std::unique_ptr<PrefixTree> tree;
+  // Prefrozen flat layout, kept beside the pointer tree (never instead of
+  // it: a GORDIAN_FROZEN=0 run hitting this entry still needs the pointer
+  // tree). Null when freezing was disabled at insert time.
+  std::unique_ptr<FrozenTree> frozen;
   int64_t bytes = 0;
   bool leased = false;
   bool resident = false;  // linked into the map/LRU list
@@ -46,6 +51,10 @@ struct TreeArtifactCache::Lease::Entry {
 
 PrefixTree* TreeArtifactCache::Lease::tree() const {
   return entry_ == nullptr ? nullptr : entry_->tree.get();
+}
+
+FrozenTree* TreeArtifactCache::Lease::frozen() const {
+  return entry_ == nullptr ? nullptr : entry_->frozen.get();
 }
 
 void TreeArtifactCache::Lease::Release() {
@@ -80,16 +89,40 @@ TreeArtifactCache::Lease TreeArtifactCache::Acquire(const TreeCacheKey& key) {
 }
 
 TreeArtifactCache::Lease TreeArtifactCache::Insert(
-    const TreeCacheKey& key, std::unique_ptr<PrefixTree> tree) {
+    const TreeCacheKey& key, std::unique_ptr<PrefixTree> tree,
+    std::unique_ptr<FrozenTree> frozen) {
   Lease lease;
   auto entry = std::make_shared<Lease::Entry>();
   entry->key = key;
+
+  // Freeze-on-insert: pay the flattening once, outside the lock, so every
+  // hit serves the prefrozen artifact. Skipped when the inserting run
+  // already froze (it hands its artifact over) or freezing is disabled.
+  double freeze_seconds = 0;
+  bool froze_here = false;
+  if (frozen == nullptr && FrozenTreesEnabled() &&
+      tree->root() != nullptr) {
+    Stopwatch freeze_watch;
+    frozen = FrozenTree::Freeze(*tree);
+    freeze_seconds = freeze_watch.ElapsedSeconds();
+    froze_here = true;
+  }
+
   entry->bytes = tree->pool().current_bytes();
+  if (frozen != nullptr) entry->bytes += frozen->ApproxBytes();
   entry->tree = std::move(tree);
+  entry->frozen = std::move(frozen);
   entry->leased = true;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (froze_here) {
+      ++stats_.trees_frozen;
+      stats_.freeze_seconds += freeze_seconds;
+    }
+    if (entry->frozen != nullptr) {
+      stats_.frozen_bytes += entry->frozen->ApproxBytes();
+    }
     auto it = entries_.find(key);
     bool admit = entry->bytes <= byte_budget_;
     if (it != entries_.end()) {
@@ -192,6 +225,11 @@ KeyDiscoveryResult ProfileWithTreeCache(
   if (lease.valid()) {
     if (tree_cache_hit != nullptr) *tree_cache_hit = true;
     session.set_shared_tree(lease.tree());
+    // Serve the prefrozen artifact too, when the entry carries one: the run
+    // then skips both the build and the freeze pass.
+    if (lease.frozen() != nullptr) {
+      session.set_shared_frozen_tree(lease.frozen());
+    }
     (void)session.Run(table, &result);
   } else {
     (void)session.Run(table, &result);
@@ -203,9 +241,11 @@ KeyDiscoveryResult ProfileWithTreeCache(
       // Runs that never built a tree (null-projection hand-off, cancelled
       // before the build stage) return null from TakeTree. Duplicate-entity
       // trees are cacheable too — a rerun hits and re-derives no_keys.
+      // The run's frozen artifact (if the frozen path was on) is admitted
+      // alongside, so Insert does not refreeze.
       lease = cache->Insert(
           MakeTreeCacheKey(fingerprint, table.num_columns(), options),
-          std::move(built));
+          std::move(built), session.TakeFrozenTree());
     }
   }
 

@@ -90,6 +90,11 @@ class TreeArtifactCache {
 
     bool valid() const { return entry_ != nullptr; }
     PrefixTree* tree() const;
+    // The prefrozen flat layout stored alongside the tree, or nullptr when
+    // freezing was disabled when the entry was admitted. Hits inject it via
+    // ProfileSession::set_shared_frozen_tree so the run skips the freeze
+    // pass as well as the build.
+    FrozenTree* frozen() const;
 
     // Drops the lease early (before destruction).
     void Release();
@@ -107,12 +112,21 @@ class TreeArtifactCache {
   Lease Acquire(const TreeCacheKey& key);
 
   // Admits a freshly built tree under `key` and returns an exclusive lease
-  // over it. The entry's size is tree->pool().current_bytes(); an artifact
-  // larger than the whole budget is not admitted, but the returned lease
-  // still owns it, so the inserting job proceeds either way. Replaces any
-  // existing (unleased) entry for the key; if the existing entry is leased,
-  // the new tree is kept lease-only and not admitted.
-  Lease Insert(const TreeCacheKey& key, std::unique_ptr<PrefixTree> tree);
+  // over it. The entry's size is tree->pool().current_bytes() plus the
+  // frozen artifact's ApproxBytes; an artifact larger than the whole budget
+  // is not admitted, but the returned lease still owns it, so the inserting
+  // job proceeds either way. Replaces any existing (unleased) entry for the
+  // key; if the existing entry is leased, the new tree is kept lease-only
+  // and not admitted.
+  //
+  // `frozen` is the flat layout to serve alongside the tree. When null and
+  // freezing is enabled process-wide, Insert freezes the tree itself — the
+  // freeze is paid once here, and every subsequent hit serves the prefrozen
+  // artifact (freeze_seconds = 0 on hits). Callers whose profiling run
+  // already froze the tree hand the artifact over instead
+  // (ProfileSession::TakeFrozenTree), making insertion free of refreezing.
+  Lease Insert(const TreeCacheKey& key, std::unique_ptr<PrefixTree> tree,
+               std::unique_ptr<FrozenTree> frozen = nullptr);
 
   bool Contains(const TreeCacheKey& key) const;
   void Clear();  // drops all unleased entries
@@ -128,6 +142,9 @@ class TreeArtifactCache {
     int64_t evictions = 0;
     int64_t entries = 0;      // resident now
     int64_t bytes = 0;        // resident now, per NodePool accounting
+    int64_t trees_frozen = 0;     // freezes Insert performed itself
+    double freeze_seconds = 0;    // wall clock of those freezes
+    int64_t frozen_bytes = 0;     // flat-layout bytes admitted (lifetime)
 
     double hit_rate() const {
       int64_t lookups = hits + misses + busy_misses;

@@ -41,6 +41,15 @@ std::unique_ptr<PrefixTree> BuildTree(const Table& t,
   return tree;
 }
 
+// The byte footprint one cache entry for `tree` will occupy: the pool's
+// bytes plus (when freezing is on) the flat layout admitted alongside.
+// The budget-sensitive tests below size their caches in this unit.
+int64_t EntryFootprint(const PrefixTree& tree) {
+  int64_t bytes = const_cast<PrefixTree&>(tree).pool().current_bytes();
+  if (FrozenTreesEnabled()) bytes += FrozenTree::Freeze(tree)->ApproxBytes();
+  return bytes;
+}
+
 TEST(TreeCacheKeyTest, DistinguishesTreeShapingOptions) {
   GordianOptions base;
   TreeCacheKey a = MakeTreeCacheKey(1, 5, base);
@@ -114,7 +123,7 @@ TEST(TreeCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
   std::unique_ptr<PrefixTree> t1 = BuildTree(t, opt);
   std::unique_ptr<PrefixTree> t2 = BuildTree(t, opt);
   std::unique_ptr<PrefixTree> t3 = BuildTree(t, opt);
-  const int64_t one = t1->pool().current_bytes();
+  const int64_t one = EntryFootprint(*t1);
   ASSERT_GT(one, 0);
 
   // Budget fits two trees but not three; distinct fingerprints keep the
@@ -146,7 +155,7 @@ TEST(TreeCacheTest, LeasedEntriesAreNeverEvicted) {
   GordianOptions opt;
   std::unique_ptr<PrefixTree> t1 = BuildTree(t, opt);
   std::unique_ptr<PrefixTree> t2 = BuildTree(t, opt);
-  const int64_t one = t1->pool().current_bytes();
+  const int64_t one = EntryFootprint(*t1);
 
   // Budget fits only one tree.
   TreeArtifactCache cache(one);
