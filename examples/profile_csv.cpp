@@ -4,9 +4,15 @@
 //
 // Usage:
 //   ./build/examples/profile_csv [flags] [file.csv ...]
-//     --sample=N    profile an N-row sample (0 = full table)
-//     --timeout=S   wall-clock budget per file, in seconds
-//     --threads=N   workers for multi-file runs (0 = one per hardware thread)
+//     --sample=N         profile an N-row sample (0 = full table)
+//     --timeout=S        wall-clock budget per file, in seconds
+//     --threads=N        workers for multi-file runs (0 = one per hardware
+//                        thread)
+//     --memory_budget=M  spill encoded columns to disk once they exceed M
+//                        megabytes of heap (0 = never spill)
+//     --spill_dir=path   scratch directory for spilled columns (created if
+//                        missing; defaults to gordian_spill/ in the working
+//                        directory when --memory_budget is set)
 //
 // One file is profiled inline with a detailed report. Several files are
 // profiled concurrently through the ProfilingService, one job per file.
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_fs.h"
 #include "common/flags.h"
 #include "core/gordian.h"
 #include "core/strength.h"
@@ -43,16 +50,23 @@ std::string EnsureDemoCsv() {
 }
 
 int ProfileOneFile(const std::string& path,
-                   const gordian::GordianOptions& options) {
+                   const gordian::GordianOptions& options,
+                   const gordian::SpillPolicy& spill) {
   gordian::Table table;
-  gordian::Status s = gordian::ReadCsv(path, gordian::CsvOptions{}, &table);
+  gordian::Status s =
+      gordian::ReadCsv(path, gordian::CsvOptions{}, spill, &table);
   if (!s.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
                  s.ToString().c_str());
     return 1;
   }
-  std::printf("%s: %lld rows, %d columns\n", path.c_str(),
+  std::printf("%s: %lld rows, %d columns", path.c_str(),
               static_cast<long long>(table.num_rows()), table.num_columns());
+  if (table.spilled_column_count() > 0) {
+    std::printf(" (%d column(s) spilled to %s)", table.spilled_column_count(),
+                spill.spill_dir.c_str());
+  }
+  std::printf("\n");
   for (int c = 0; c < table.num_columns(); ++c) {
     std::printf("  %-24s %lld distinct\n", table.schema().name(c).c_str(),
                 static_cast<long long>(table.ColumnCardinality(c)));
@@ -96,9 +110,12 @@ int ProfileOneFile(const std::string& path,
 
 int ProfileManyFiles(const std::vector<std::string>& paths,
                      const gordian::GordianOptions& options, int threads,
-                     double timeout_seconds) {
+                     double timeout_seconds,
+                     const gordian::SpillPolicy& spill) {
   gordian::ServiceOptions service_options;
   service_options.num_threads = threads;
+  service_options.spill_dir = spill.spill_dir;
+  service_options.spill_memory_budget = spill.memory_budget_bytes;
   gordian::ProfilingService service(service_options);
   std::printf("profiling %zu files on %d worker thread(s)\n\n", paths.size(),
               service.num_threads());
@@ -146,9 +163,21 @@ int main(int argc, char** argv) {
   const double timeout_seconds = flags.GetDouble("timeout", 0);
   options.time_budget_seconds = timeout_seconds;
 
+  gordian::SpillPolicy spill;
+  spill.memory_budget_bytes = flags.GetInt("memory_budget", 0) * (1LL << 20);
+  if (spill.memory_budget_bytes > 0) {
+    spill.spill_dir = flags.GetString("spill_dir", "gordian_spill");
+    gordian::Status s = gordian::DefaultFileSystem()->CreateDir(spill.spill_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot create spill dir %s: %s\n",
+                   spill.spill_dir.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+
   if (paths.size() == 1) {
-    return ProfileOneFile(paths[0], options);
+    return ProfileOneFile(paths[0], options, spill);
   }
   return ProfileManyFiles(paths, options, flags.ThreadCount(),
-                          timeout_seconds);
+                          timeout_seconds, spill);
 }

@@ -34,7 +34,7 @@
 #include "net/client.h"
 #include "net/router.h"
 #include "net/worker.h"
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
 #include "service/profiling_service.h"

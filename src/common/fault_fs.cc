@@ -1,8 +1,9 @@
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -23,8 +24,16 @@ const char* FsOpName(FsOp op) {
     case FsOp::kListDir: return "list";
     case FsOp::kLock: return "lock";
     case FsOp::kCreateDir: return "mkdir";
+    case FsOp::kAppend: return "append";
+    case FsOp::kMap: return "map";
   }
   return "unknown";
+}
+
+MappedRegion::~MappedRegion() {
+  if (owned_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
 }
 
 namespace {
@@ -53,6 +62,49 @@ class PosixFileSystem : public FileSystem {
       left -= static_cast<size_t>(n);
     }
     if (::close(fd) != 0) return Errno("close failed on", path);
+    return Status::OK();
+  }
+
+  Status AppendFile(const std::string& path, std::string_view data) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Errno("cannot open for append", path);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = Errno("append failed on", path);
+        ::close(fd);
+        return s;
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    if (::close(fd) != 0) return Errno("close failed on", path);
+    return Status::OK();
+  }
+
+  Status MapFile(const std::string& path,
+                 std::shared_ptr<MappedRegion>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("cannot open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status s = Errno("cannot stat", path);
+      ::close(fd);
+      return s;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      *out = std::make_shared<MappedRegion>(nullptr, 0, /*owned=*/false);
+      return Status::OK();
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping stays valid after close
+    if (addr == MAP_FAILED) return Errno("cannot mmap", path);
+    *out = std::make_shared<MappedRegion>(addr, size, /*owned=*/true);
     return Status::OK();
   }
 
@@ -194,7 +246,8 @@ Status FaultInjectionFs::Check(FsOp op, const std::string& path,
                                int64_t* partial_bytes) {
   const bool mutates = op == FsOp::kWriteFile || op == FsOp::kSyncFile ||
                        op == FsOp::kRename || op == FsOp::kSyncDir ||
-                       op == FsOp::kRemove || op == FsOp::kCreateDir;
+                       op == FsOp::kRemove || op == FsOp::kCreateDir ||
+                       op == FsOp::kAppend;
   std::lock_guard<std::mutex> lock(mu_);
   if (halted_ && mutates) {
     return Status::IOError("file system halted after injected fault");
@@ -209,7 +262,8 @@ Status FaultInjectionFs::Check(FsOp op, const std::string& path,
   }
   fired_ = true;
   halted_ = spec_.halt_after;
-  if (op == FsOp::kWriteFile && spec_.partial_bytes >= 0) {
+  if ((op == FsOp::kWriteFile || op == FsOp::kAppend) &&
+      spec_.partial_bytes >= 0) {
     *partial_bytes = spec_.partial_bytes;
   }
   return Status::IOError(spec_.message + " (" + std::string(FsOpName(op)) +
@@ -227,6 +281,26 @@ Status FaultInjectionFs::WriteFile(const std::string& path,
     (void)base_->WriteFile(path, data.substr(0, n));
   }
   return fault;
+}
+
+Status FaultInjectionFs::AppendFile(const std::string& path,
+                                    std::string_view data) {
+  int64_t partial = -1;
+  Status fault = Check(FsOp::kAppend, path, &partial);
+  if (fault.ok()) return base_->AppendFile(path, data);
+  if (partial >= 0) {
+    // A short append: the prefix reaches the disk, then the failure hits.
+    size_t n = std::min(static_cast<size_t>(partial), data.size());
+    (void)base_->AppendFile(path, data.substr(0, n));
+  }
+  return fault;
+}
+
+Status FaultInjectionFs::MapFile(const std::string& path,
+                                 std::shared_ptr<MappedRegion>* out) {
+  int64_t unused = -1;
+  Status fault = Check(FsOp::kMap, path, &unused);
+  return fault.ok() ? base_->MapFile(path, out) : fault;
 }
 
 Status FaultInjectionFs::SyncFile(const std::string& path) {

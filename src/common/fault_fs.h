@@ -1,7 +1,8 @@
-#ifndef GORDIAN_SERVICE_FAULT_FS_H_
-#define GORDIAN_SERVICE_FAULT_FS_H_
+#ifndef GORDIAN_COMMON_FAULT_FS_H_
+#define GORDIAN_COMMON_FAULT_FS_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -11,10 +12,10 @@
 
 namespace gordian {
 
-// The file-system operations the catalog store performs, named so a fault
-// can be aimed at exactly one step of the durable-save sequence
-// (write temp file -> fsync it -> rename over the final name -> fsync the
-// directory).
+// The file-system operations the durable stores perform (catalog shards,
+// spilled table columns), named so a fault can be aimed at exactly one step
+// of a durable-save sequence (write/append temp file -> fsync it -> rename
+// over the final name -> fsync the directory -> map it back).
 enum class FsOp {
   kWriteFile,
   kSyncFile,
@@ -25,16 +26,43 @@ enum class FsOp {
   kListDir,
   kLock,
   kCreateDir,
+  kAppend,
+  kMap,
 };
 
 const char* FsOpName(FsOp op);
 
-// Narrow file-system seam between the catalog store and the OS. Production
+// A read-only byte view of a whole file, held open for the lifetime of the
+// object (mmap on the real file system; the mapping is released on
+// destruction). Spilled table columns hand out pointers into a shared
+// MappedRegion, so copies of a column cost nothing and the OS pages data
+// in and out on demand.
+class MappedRegion {
+ public:
+  // Takes ownership of an existing mapping (munmap'd on destruction) when
+  // `owned`; otherwise wraps caller-owned bytes (tests, in-memory stubs).
+  MappedRegion(const void* data, size_t size, bool owned)
+      : data_(data), size_(size), owned_(owned) {}
+  ~MappedRegion();
+
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  const void* data_;
+  size_t size_;
+  bool owned_;
+};
+
+// Narrow file-system seam between the durable stores and the OS. Production
 // code uses DefaultFileSystem(); tests substitute FaultInjectionFs to make
 // crash points deterministic. Operations are path-based rather than
 // handle-based on purpose: every call is independently interceptable, and
-// the store's access pattern (whole-file writes and reads of small shard
-// files) never needs a seek.
+// the stores' access patterns (whole-file writes/reads of small shard
+// files; append-only chunk streams for spilled columns) never need a seek.
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -42,6 +70,17 @@ class FileSystem {
   // Creates or truncates `path` with exactly `data`. No durability is
   // implied until SyncFile succeeds.
   virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  // Appends `data` to `path`, creating the file if absent. The streaming
+  // write primitive of the column spiller: chunks go out as they fill, so
+  // an arbitrarily long column never needs its bytes assembled in memory.
+  virtual Status AppendFile(const std::string& path,
+                            std::string_view data) = 0;
+
+  // Maps the whole of `path` read-only. The region stays valid for the
+  // lifetime of the returned object, independent of this FileSystem.
+  virtual Status MapFile(const std::string& path,
+                         std::shared_ptr<MappedRegion>* out) = 0;
 
   // fsyncs `path`'s contents to stable storage.
   virtual Status SyncFile(const std::string& path) = 0;
@@ -82,8 +121,8 @@ struct FaultSpec {
   std::string path_substr;  // empty matches every path
   int countdown = 0;        // matching calls to let through first
 
-  // kWriteFile only: bytes that reach the disk before the failure (-1 =
-  // none). Models a short write, a torn page, or ENOSPC mid-file.
+  // kWriteFile/kAppend only: bytes that reach the disk before the failure
+  // (-1 = none). Models a short write, a torn page, or ENOSPC mid-file.
   int64_t partial_bytes = -1;
 
   std::string message = "injected fault";
@@ -112,6 +151,9 @@ class FaultInjectionFs : public FileSystem {
   bool fired() const;
 
   Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status MapFile(const std::string& path,
+                 std::shared_ptr<MappedRegion>* out) override;
   Status SyncFile(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status SyncDir(const std::string& dir) override;
@@ -141,4 +183,4 @@ class FaultInjectionFs : public FileSystem {
 
 }  // namespace gordian
 
-#endif  // GORDIAN_SERVICE_FAULT_FS_H_
+#endif  // GORDIAN_COMMON_FAULT_FS_H_

@@ -37,14 +37,43 @@ class MemoryTracker {
   }
   int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
+  // Mmap-backed bytes are tallied separately from heap-resident bytes:
+  // the OS pages mapped data in and out on demand, so they do not count
+  // against a resident-memory budget, but Table-2-style reports still
+  // want to see them.
+  void AddMapped(int64_t bytes) {
+    int64_t now =
+        mapped_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_mapped_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_mapped_.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  void ReleaseMapped(int64_t bytes) {
+    mapped_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t current_mapped_bytes() const {
+    return mapped_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_mapped_bytes() const {
+    return peak_mapped_.load(std::memory_order_relaxed);
+  }
+
   void Reset() {
     current_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
+    mapped_.store(0, std::memory_order_relaxed);
+    peak_mapped_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> mapped_{0};
+  std::atomic<int64_t> peak_mapped_{0};
 };
 
 }  // namespace gordian

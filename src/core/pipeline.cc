@@ -74,13 +74,20 @@ std::vector<int> ComputeAttributeOrder(const Table& table,
   return order;
 }
 
-// Column positions containing at least one NULL.
+// Column positions containing at least one NULL. A spilled column answers
+// from its per-chunk null stats (no data scan); a resident column scans
+// until the first null.
 std::vector<int> NullableColumns(const Table& table) {
   std::vector<int> nullable;
   for (int c = 0; c < table.num_columns(); ++c) {
     uint32_t null_code = table.dictionary(c).Lookup(Value::Null());
     if (null_code == UINT32_MAX) continue;
-    for (uint32_t code : table.column_codes(c)) {
+    const CodeColumn& codes = table.column_codes(c);
+    if (codes.spilled()) {
+      if (codes.CountEqual(null_code) > 0) nullable.push_back(c);
+      continue;
+    }
+    for (uint32_t code : codes) {
       if (code == null_code) {
         nullable.push_back(c);
         break;

@@ -100,14 +100,22 @@ PrefixTree PrefixTree::BuildSorted(const Table& table,
   tree.num_entities_ = table.num_rows();
   const int depth = static_cast<int>(attr_order.size());
 
+  // Per-level code pointers, hoisted once: resident and spilled columns
+  // alike are contiguous arrays, so the sort comparator and the path
+  // builder below stay a plain indexed load.
+  std::vector<const uint32_t*> level_codes;
+  level_codes.reserve(attr_order.size());
+  for (int c : attr_order) {
+    level_codes.push_back(table.column_codes(c).data());
+  }
+
   // Sort row ids lexicographically by the reordered attribute codes; the
   // tree is then built append-only, one root-to-leaf path at a time.
   std::vector<int64_t> rows(table.num_rows());
   std::iota(rows.begin(), rows.end(), int64_t{0});
   std::sort(rows.begin(), rows.end(), [&](int64_t a, int64_t b) {
-    for (int c : attr_order) {
-      uint32_t ca = table.code(a, c), cb = table.code(b, c);
-      if (ca != cb) return ca < cb;
+    for (const uint32_t* codes : level_codes) {
+      if (codes[a] != codes[b]) return codes[a] < codes[b];
     }
     return false;
   });
@@ -124,8 +132,7 @@ PrefixTree PrefixTree::BuildSorted(const Table& table,
     int branch = 0;
     if (prev_row >= 0) {
       while (branch < depth &&
-             table.code(r, attr_order[branch]) ==
-                 table.code(prev_row, attr_order[branch])) {
+             level_codes[branch][r] == level_codes[branch][prev_row]) {
         ++branch;
       }
     }
@@ -154,7 +161,7 @@ PrefixTree PrefixTree::BuildSorted(const Table& table,
     for (int l = branch; l < depth; ++l) {
       Node* node = stack[l];
       Cell cell;
-      cell.code = table.code(r, attr_order[l]);
+      cell.code = level_codes[l][r];
       cell.count = 1;
       cell.child = nullptr;
       if (l + 1 < depth) {
@@ -189,10 +196,16 @@ PrefixTree PrefixTree::BuildInsertion(const Table& table,
   NodePool& pool = *tree.pool_;
   tree.root_ = pool.NewNode(depth == 1);
 
+  std::vector<const uint32_t*> level_codes;
+  level_codes.reserve(attr_order.size());
+  for (int c : attr_order) {
+    level_codes.push_back(table.column_codes(c).data());
+  }
+
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     Node* node = tree.root_;
     for (int l = 0; l < depth; ++l) {
-      uint32_t code = table.code(r, attr_order[l]);
+      uint32_t code = level_codes[l][r];
       auto it = std::lower_bound(
           node->cells.begin(), node->cells.end(), code,
           [](const Cell& c, uint32_t v) { return c.code < v; });

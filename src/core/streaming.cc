@@ -11,10 +11,12 @@
 
 namespace gordian {
 
-StreamingProfiler::StreamingProfiler(Schema schema, GordianOptions options)
+StreamingProfiler::StreamingProfiler(Schema schema, GordianOptions options,
+                                     SpillPolicy spill)
     : options_(std::move(options)),
       schema_(schema),
-      builder_(schema),
+      spill_(std::move(spill)),
+      builder_(schema, spill_),
       reservoir_capacity_(options_.sample_rows),
       rng_(options_.sample_seed) {
   if (reservoir_capacity_ > 0) {
@@ -186,6 +188,14 @@ int64_t StreamingProfiler::ApproxBytes() const {
 }
 
 KeyDiscoveryResult StreamingProfiler::Finish() {
+  KeyDiscoveryResult result;
+  Status s = Finish(&result);
+  assert(s.ok());
+  (void)s;
+  return result;
+}
+
+Status StreamingProfiler::Finish(KeyDiscoveryResult* out) {
   Table data;
   if (reservoir_capacity_ > 0) {
     // Hand the reservoir's dictionaries and code matrix to a Table without
@@ -203,7 +213,15 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
     data = Table::FromColumns(schema_, std::move(reservoir_dicts_),
                               std::move(cols));
   } else {
-    data = builder_.Build();
+    Status s = builder_.Build(&data);
+    if (!s.ok()) {
+      // Unrecoverable spill loss; the builder reset itself, reset the rest
+      // so the profiler stays reusable.
+      ResetReservoir();
+      rows_seen_ = 0;
+      rng_ = Random(options_.sample_seed);
+      return s;
+    }
   }
 
   // Discovery itself must not sample again: the reservoir already did. The
@@ -211,13 +229,12 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
   GordianOptions discovery = options_;
   discovery.sample_rows = 0;
   ProfileSession session(discovery);
-  KeyDiscoveryResult result;
-  (void)session.Run(data, &result);
+  (void)session.Run(data, out);
   // Mark sampled runs so callers know keys carry estimates, and compute the
   // estimates the facade would have attached.
   if (reservoir_capacity_ > 0 && rows_seen_ > reservoir_capacity_) {
-    result.sampled = true;
-    for (DiscoveredKey& k : result.keys) {
+    out->sampled = true;
+    for (DiscoveredKey& k : out->keys) {
       k.estimated_strength = EstimatedStrengthLowerBound(data, k.attrs);
       k.exact_strength = -1.0;  // unknown: the full stream is gone
     }
@@ -225,16 +242,16 @@ KeyDiscoveryResult StreamingProfiler::Finish() {
 
   // Reset for reuse. The PRNG is re-seeded too, so a reused profiler draws
   // the same reservoir as a freshly constructed one over the same stream.
-  builder_ = TableBuilder(schema_);
+  builder_ = TableBuilder(schema_, spill_);
   ResetReservoir();
   rows_seen_ = 0;
   rng_ = Random(options_.sample_seed);
-  return result;
+  return Status::OK();
 }
 
 Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
-                      const GordianOptions& options, KeyDiscoveryResult* out,
-                      IngestStats* stats) {
+                      const GordianOptions& options, const SpillPolicy& spill,
+                      KeyDiscoveryResult* out, IngestStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -249,8 +266,12 @@ Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
   if (csv_options.encode_threads > 1) {
     pool = std::make_unique<ThreadPool>(csv_options.encode_threads);
   }
-  StreamingProfiler profiler(Schema(reader.column_names()), options);
+  StreamingProfiler profiler(Schema(reader.column_names()), options, spill);
   RowBatch batch;
+  // Once spilling, a fat batch's string arena must not linger until the
+  // next NextBatch reshapes it: budget-bound ingest frees it right after
+  // the encode. Same threshold as the ReadCsv spill path.
+  constexpr int64_t kBatchShrinkBytes = 8 << 20;
   for (;;) {
     s = reader.NextBatch(&batch, pool.get());
     if (!s.ok()) return s;
@@ -260,6 +281,10 @@ Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
       ++stats->batches;
       stats->rows += batch.num_rows();
       stats->bytes += batch.ByteSize();
+    }
+    if (spill.enabled() && batch.ApproxBytes() > kBatchShrinkBytes) {
+      batch.Clear();
+      batch.ShrinkToFit();
     }
     // Ingest can dominate the wall clock on large files, so cancellation
     // must be observable here, not just inside discovery. Amortized: one
@@ -272,8 +297,14 @@ Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
       return Status::OK();
     }
   }
-  *out = profiler.Finish();
-  return Status::OK();
+  return profiler.Finish(out);
+}
+
+Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
+                      const GordianOptions& options, KeyDiscoveryResult* out,
+                      IngestStats* stats) {
+  return ProfileCsvFile(path, csv_options, options, SpillPolicy(), out,
+                        stats);
 }
 
 }  // namespace gordian

@@ -50,7 +50,11 @@ struct IngestStats {
 // Duplicate full entities are detected at Finish() (the no_keys abort).
 class StreamingProfiler {
  public:
-  StreamingProfiler(Schema schema, GordianOptions options = {});
+  // `spill` applies to full-mode ingest only (the retained encoded table may
+  // stream its cold columns to GRDL files); the reservoir is O(k) by
+  // construction and never spills.
+  StreamingProfiler(Schema schema, GordianOptions options = {},
+                    SpillPolicy spill = {});
 
   // Appends one entity from the stream (adapter over the batch path).
   void AddRow(const std::vector<Value>& row);
@@ -65,7 +69,11 @@ class StreamingProfiler {
   int64_t ApproxBytes() const;
 
   // Runs discovery over the ingested (or reservoir-sampled) rows and
-  // returns the result; the profiler is left empty and reusable.
+  // returns the result; the profiler is left empty and reusable. The
+  // Status-returning form fails only when spilled ingest data could not be
+  // recovered (TableBuilder::Build semantics); the legacy form asserts
+  // that never happened.
+  Status Finish(KeyDiscoveryResult* out);
   KeyDiscoveryResult Finish();
 
  private:
@@ -83,6 +91,7 @@ class StreamingProfiler {
 
   GordianOptions options_;
   Schema schema_;
+  SpillPolicy spill_;
   TableBuilder builder_;
   int64_t rows_seen_ = 0;
 
@@ -104,6 +113,16 @@ class StreamingProfiler {
 Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
                       const GordianOptions& options, KeyDiscoveryResult* out,
                       IngestStats* stats = nullptr);
+
+// Same, with a spill policy for full-mode ingest: the retained table's cold
+// columns stream to GRDL files under spill.spill_dir once encoded bytes
+// exceed the budget, and each RowBatch's string arena is released right
+// after it is encoded — so profiling a file much larger than RAM needs
+// memory for dictionaries plus roughly the budget. Results are identical
+// to the unspilled overload's.
+Status ProfileCsvFile(const std::string& path, const CsvOptions& csv_options,
+                      const GordianOptions& options, const SpillPolicy& spill,
+                      KeyDiscoveryResult* out, IngestStats* stats = nullptr);
 
 }  // namespace gordian
 

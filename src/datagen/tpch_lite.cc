@@ -201,15 +201,19 @@ std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed) {
   return db;
 }
 
-Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
-  Random rng(seed);
-  // Denormalized order-line rows; (f_orderkey, f_linenumber) is the planted
-  // composite key, f_rowid a surrogate single-column key.
-  TableBuilder b(Schema(std::vector<std::string>{
+Schema TpchFactSchema() {
+  return Schema(std::vector<std::string>{
       "f_rowid", "f_orderkey", "f_linenumber", "f_custkey", "f_partkey",
       "f_suppkey", "f_quantity", "f_extendedprice", "f_discount", "f_tax",
       "f_returnflag", "f_linestatus", "f_shipdate", "f_shipmode",
-      "f_nationkey", "f_mktsegment", "f_orderpriority"}));
+      "f_nationkey", "f_mktsegment", "f_orderpriority"});
+}
+
+void FillTpchFact(int64_t num_rows, uint64_t seed, TableBuilder* builder) {
+  Random rng(seed);
+  TableBuilder& b = *builder;
+  // Denormalized order-line rows; (f_orderkey, f_linenumber) is the planted
+  // composite key, f_rowid a surrogate single-column key.
   const int64_t custs = std::max<int64_t>(1, num_rows / 12);
   const int64_t parts = std::max<int64_t>(1, num_rows / 9);
   const int64_t supps = std::max<int64_t>(1, num_rows / 180);
@@ -237,6 +241,11 @@ Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
     ++line;
   }
   w.Flush();
+}
+
+Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
+  TableBuilder b(TpchFactSchema());
+  FillTpchFact(num_rows, seed, &b);
   return b.Build();
 }
 

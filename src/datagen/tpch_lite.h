@@ -32,6 +32,16 @@ std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed);
 // index-recommendation experiment (Figure 16).
 Table GenerateTpchFact(int64_t num_rows, uint64_t seed);
 
+// Schema of the fact table above, for callers that construct their own
+// TableBuilder (e.g. with a SpillPolicy).
+Schema TpchFactSchema();
+
+// Streams the fact rows into a caller-supplied builder instead of building
+// a resident table, so 100M+-row datasets can be generated straight into a
+// spilling TableBuilder without ever holding all codes in memory.
+// GenerateTpchFact(n, s) == TableBuilder(TpchFactSchema()) filled this way.
+void FillTpchFact(int64_t num_rows, uint64_t seed, TableBuilder* builder);
+
 }  // namespace gordian
 
 #endif  // GORDIAN_DATAGEN_TPCH_LITE_H_

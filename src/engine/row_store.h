@@ -19,7 +19,7 @@ class RowStore {
       : num_columns_(table.num_columns()), num_rows_(table.num_rows()) {
     data_.resize(static_cast<size_t>(num_rows_) * num_columns_);
     for (int c = 0; c < num_columns_; ++c) {
-      const std::vector<uint32_t>& codes = table.column_codes(c);
+      const uint32_t* codes = table.column_codes(c).data();
       for (int64_t r = 0; r < num_rows_; ++r) {
         data_[static_cast<size_t>(r) * num_columns_ + c] = codes[r];
       }

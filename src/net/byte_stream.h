@@ -13,7 +13,7 @@ namespace gordian {
 
 // The transport operations the RPC layer performs on one connection, named
 // so a fault can be aimed at exactly one of them (the socket-side mirror of
-// FsOp in service/fault_fs.h).
+// FsOp in common/fault_fs.h).
 enum class NetOp {
   kRead,
   kWrite,

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "net/frame.h"
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 #include "table/fingerprint.h"
 #include "table/serialize.h"
 

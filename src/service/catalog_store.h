@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
 

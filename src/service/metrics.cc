@@ -48,6 +48,14 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
     line("ingest rows", s.ingest_rows);
     line("ingest bytes", s.ingest_bytes);
   }
+  if (s.artifact_puts > 0 || s.artifact_serves > 0 ||
+      s.artifact_put_errors > 0 || s.artifact_get_errors > 0) {
+    line("artifact puts", s.artifact_puts);
+    line("artifact put bytes", s.artifact_put_bytes);
+    line("artifact put errors", s.artifact_put_errors);
+    line("artifact serves", s.artifact_serves);
+    line("artifact get errors", s.artifact_get_errors);
+  }
   if (s.rpcs_in > 0 || s.rpcs_out > 0) {
     line("rpcs in", s.rpcs_in);
     line("rpcs out", s.rpcs_out);

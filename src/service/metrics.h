@@ -67,6 +67,18 @@ class ServiceMetrics {
     ingest_bytes_.fetch_add(bytes, kRelaxed);
   }
 
+  // --- Table artifact store (service/table_artifacts.h) ----------------
+  // One table durably persisted, with its on-disk footprint (columns+meta).
+  void OnArtifactPut(int64_t bytes) {
+    artifact_puts_.fetch_add(1, kRelaxed);
+    artifact_put_bytes_.fetch_add(bytes, kRelaxed);
+  }
+  void OnArtifactPutError() { artifact_put_errors_.fetch_add(1, kRelaxed); }
+  // One stored table reattached (dictionaries loaded, columns mmapped).
+  void OnArtifactServe() { artifact_serves_.fetch_add(1, kRelaxed); }
+  // A Get that found the artifact unreadable or corrupt.
+  void OnArtifactGetError() { artifact_get_errors_.fetch_add(1, kRelaxed); }
+
   // --- Distributed front-end (src/net) ---------------------------------
   // One frame received / sent, with its framed size (header + payload).
   void OnRpcIn(int64_t bytes) {
@@ -131,6 +143,11 @@ class ServiceMetrics {
     int64_t ingest_batches = 0;
     int64_t ingest_rows = 0;
     int64_t ingest_bytes = 0;
+    int64_t artifact_puts = 0;
+    int64_t artifact_put_bytes = 0;
+    int64_t artifact_put_errors = 0;
+    int64_t artifact_serves = 0;
+    int64_t artifact_get_errors = 0;
     int64_t rpcs_in = 0;
     int64_t rpcs_out = 0;
     int64_t rpc_bytes_in = 0;
@@ -208,6 +225,11 @@ class ServiceMetrics {
     s.ingest_batches = ingest_batches_.load(kRelaxed);
     s.ingest_rows = ingest_rows_.load(kRelaxed);
     s.ingest_bytes = ingest_bytes_.load(kRelaxed);
+    s.artifact_puts = artifact_puts_.load(kRelaxed);
+    s.artifact_put_bytes = artifact_put_bytes_.load(kRelaxed);
+    s.artifact_put_errors = artifact_put_errors_.load(kRelaxed);
+    s.artifact_serves = artifact_serves_.load(kRelaxed);
+    s.artifact_get_errors = artifact_get_errors_.load(kRelaxed);
     s.rpcs_in = rpcs_in_.load(kRelaxed);
     s.rpcs_out = rpcs_out_.load(kRelaxed);
     s.rpc_bytes_in = rpc_bytes_in_.load(kRelaxed);
@@ -260,6 +282,11 @@ class ServiceMetrics {
   std::atomic<int64_t> ingest_batches_{0};
   std::atomic<int64_t> ingest_rows_{0};
   std::atomic<int64_t> ingest_bytes_{0};
+  std::atomic<int64_t> artifact_puts_{0};
+  std::atomic<int64_t> artifact_put_bytes_{0};
+  std::atomic<int64_t> artifact_put_errors_{0};
+  std::atomic<int64_t> artifact_serves_{0};
+  std::atomic<int64_t> artifact_get_errors_{0};
   std::atomic<int64_t> rpcs_in_{0};
   std::atomic<int64_t> rpcs_out_{0};
   std::atomic<int64_t> rpc_bytes_in_{0};

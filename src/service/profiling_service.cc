@@ -16,6 +16,27 @@ ProfilingService::ProfilingService(ServiceOptions options)
                       : nullptr),
       flush_every_puts_(options.flush_every_puts),
       scheduler_(options.num_threads) {
+  ingest_spill_.memory_budget_bytes = options.spill_memory_budget;
+  ingest_spill_.spill_dir = options.spill_dir;
+  ingest_spill_.fs = options.fs;
+  if (ingest_spill_.enabled()) {
+    // The spill directory is scratch space; create it up front rather than
+    // having CSV jobs race to (CreateDir succeeds when it exists).
+    FileSystem* fs = options.fs != nullptr ? options.fs : DefaultFileSystem();
+    (void)fs->CreateDir(ingest_spill_.spill_dir);
+  }
+  if (!options.table_artifact_dir.empty()) {
+    TableArtifactStore::Options store_options;
+    store_options.fs = options.fs;
+    store_options.metrics = &metrics_;
+    artifact_store_ = std::make_unique<TableArtifactStore>(
+        options.table_artifact_dir, store_options);
+    if (!artifact_store_->Init().ok()) {
+      // Unusable root: run without table persistence, like an unusable
+      // catalog directory runs without result persistence.
+      artifact_store_.reset();
+    }
+  }
   if (!options.catalog_dir.empty()) {
     CatalogStore::Options store_options;
     store_options.mode = CatalogStore::Mode::kReadWrite;
@@ -239,6 +260,13 @@ void ProfilingService::RunTableJob(Record* rec,
                       rec->result)) {
       NotePut();
     }
+    // Persist the table itself alongside its result, so a later process
+    // can reload it by fingerprint without the original source. Failures
+    // are counted (artifact_put_errors) but don't fail the job — the
+    // discovery result stands on its own.
+    if (artifact_store_ != nullptr) {
+      (void)artifact_store_->Put(rec->fingerprint, table);
+    }
   }
 }
 
@@ -251,7 +279,7 @@ void ProfilingService::RunCsvJob(Record* rec, const std::string& path,
   IngestStats ingest;
   Status s =
       ProfileCsvFile(path, csv_options, EffectiveOptions(options, ctx),
-                     &result, &ingest);
+                     ingest_spill_, &result, &ingest);
   metrics_.OnIngest(ingest.batches, ingest.rows, ingest.bytes);
   if (!s.ok()) throw std::runtime_error(s.ToString());
   rec->result = std::move(result);

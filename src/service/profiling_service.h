@@ -16,6 +16,7 @@
 #include "service/job_scheduler.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
+#include "service/table_artifacts.h"
 #include "service/tree_cache.h"
 #include "table/csv.h"
 #include "table/fingerprint.h"
@@ -51,9 +52,22 @@ struct ServiceOptions {
   // (and whenever FlushCatalog() is called).
   int flush_every_puts = 32;
 
-  // File-system seam for the catalog store; null = the real one. Tests
-  // substitute a FaultInjectionFs.
+  // File-system seam for the catalog and artifact stores; null = the real
+  // one. Tests substitute a FaultInjectionFs.
   FileSystem* fs = nullptr;
+
+  // When non-empty, completed table jobs persist their (fingerprint-keyed)
+  // ingested tables into a TableArtifactStore rooted here — the table
+  // companion of catalog_dir: the catalog remembers results, this
+  // remembers the tables themselves, reloadable as mmap-backed columns.
+  std::string table_artifact_dir;
+
+  // Ingest spill policy for CSV jobs: when both are set, a CSV job's
+  // retained table streams cold columns to GRDL files under spill_dir once
+  // resident code bytes exceed the budget (TableBuilder SpillPolicy
+  // semantics; 0 or an empty dir disables spilling).
+  std::string spill_dir;
+  int64_t spill_memory_budget = 0;
 };
 
 // Per-job knobs for a profiling submission.
@@ -170,6 +184,10 @@ class ProfilingService {
   // (ServiceOptions::tree_cache_bytes == 0).
   TreeArtifactCache* tree_cache() { return tree_cache_.get(); }
 
+  // The durable table store; null unless ServiceOptions::table_artifact_dir
+  // was set and its directory was usable.
+  TableArtifactStore* artifact_store() { return artifact_store_.get(); }
+
   // Counter snapshot with live queue depth / running count filled in.
   ServiceMetrics::Snapshot Metrics() const;
 
@@ -205,6 +223,8 @@ class ProfilingService {
   std::unique_ptr<KeyCatalog> owned_catalog_;
   KeyCatalog* catalog_;
   std::unique_ptr<TreeArtifactCache> tree_cache_;
+  std::unique_ptr<TableArtifactStore> artifact_store_;
+  SpillPolicy ingest_spill_;
   ServiceMetrics metrics_;
 
   // Durable catalog persistence (null / default-constructed when off).

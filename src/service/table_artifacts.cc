@@ -1,0 +1,165 @@
+#include "service/table_artifacts.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/hashing.h"
+#include "table/serialize.h"
+
+namespace gordian {
+
+namespace {
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf, 16);
+}
+
+void PutU64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+TableArtifactStore::TableArtifactStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.fs == nullptr) options_.fs = DefaultFileSystem();
+  if (options_.chunk_rows <= 0) options_.chunk_rows = kSpillChunkRows;
+}
+
+std::string TableArtifactStore::ArtifactDir(uint64_t fingerprint) const {
+  return dir_ + "/" + FingerprintHex(fingerprint);
+}
+
+std::string TableArtifactStore::MetaPath(uint64_t fingerprint) const {
+  return ArtifactDir(fingerprint) + "/meta.grdd";
+}
+
+std::string TableArtifactStore::ColumnPath(uint64_t fingerprint,
+                                           int col) const {
+  return ArtifactDir(fingerprint) + "/c" + std::to_string(col) + ".grdl";
+}
+
+Status TableArtifactStore::Init() { return fs()->CreateDir(dir_); }
+
+bool TableArtifactStore::Contains(uint64_t fingerprint) {
+  return fs()->FileExists(MetaPath(fingerprint));
+}
+
+Status TableArtifactStore::Put(uint64_t fingerprint, const Table& table) {
+  if (Contains(fingerprint)) return Status::OK();
+  Status s = Init();
+  const std::string adir = ArtifactDir(fingerprint);
+  if (s.ok()) s = fs()->CreateDir(adir);
+
+  // Columns first: each GRDL file is published durably on its own (temp +
+  // fsync + rename + dir fsync inside SpillColumnWriter::Finish), streamed
+  // a chunk at a time so a spilled column never rematerializes in memory.
+  int64_t bytes = 0;
+  for (int c = 0; s.ok() && c < table.num_columns(); ++c) {
+    const CodeColumn& codes = table.column_codes(c);
+    const uint32_t null_code = table.dictionary(c).Lookup(Value::Null());
+    SpillColumnWriter writer(fs(), ColumnPath(fingerprint, c),
+                             options_.chunk_rows);
+    for (int64_t row = 0; s.ok() && row < codes.size();
+         row += options_.chunk_rows) {
+      const int64_t n = std::min(options_.chunk_rows, codes.size() - row);
+      s = writer.Append(codes.data() + row, n, null_code);
+    }
+    if (s.ok()) s = writer.Finish(table.dictionary(c).size(), null_code);
+    bytes += codes.size() * static_cast<int64_t>(sizeof(uint32_t));
+  }
+
+  // Meta last — its successful rename is the artifact's commit point.
+  std::string payload;
+  if (s.ok()) {
+    std::ostringstream os(std::ios::binary);
+    s = WriteSchemaAndDicts(table, os);
+    payload = std::move(os).str();
+    PutU64(&payload, HashBytes(payload));
+  }
+  const std::string meta = MetaPath(fingerprint);
+  const std::string tmp = meta + ".tmp";
+  if (s.ok()) s = fs()->WriteFile(tmp, payload);
+  if (s.ok()) s = fs()->SyncFile(tmp);
+  if (s.ok()) s = fs()->Rename(tmp, meta);
+  if (s.ok()) s = fs()->SyncDir(adir);
+  if (s.ok()) s = fs()->SyncDir(dir_);
+
+  if (options_.metrics != nullptr) {
+    if (s.ok()) {
+      options_.metrics->OnArtifactPut(bytes +
+                                      static_cast<int64_t>(payload.size()));
+    } else {
+      options_.metrics->OnArtifactPutError();
+    }
+  }
+  return s;
+}
+
+Status TableArtifactStore::Get(uint64_t fingerprint, Table* out) {
+  const std::string meta = MetaPath(fingerprint);
+  std::string payload;
+  if (!fs()->FileExists(meta)) {
+    return Status::NotFound("no table artifact for " +
+                            FingerprintHex(fingerprint));
+  }
+  Status s = fs()->ReadFile(meta, &payload);
+  auto corrupt = [&](const std::string& what) {
+    if (options_.metrics != nullptr) options_.metrics->OnArtifactGetError();
+    return Status::InvalidArgument("table artifact " + meta + ": " + what);
+  };
+  if (!s.ok()) {
+    if (options_.metrics != nullptr) options_.metrics->OnArtifactGetError();
+    return s;
+  }
+  if (payload.size() < 8) return corrupt("meta file too short");
+  const uint64_t stored = GetU64(payload.data() + payload.size() - 8);
+  payload.resize(payload.size() - 8);
+  if (HashBytes(payload) != stored) return corrupt("meta checksum mismatch");
+
+  Schema schema;
+  std::vector<std::shared_ptr<Dictionary>> dicts;
+  int64_t num_rows = 0;
+  {
+    std::istringstream is(payload, std::ios::binary);
+    s = ReadSchemaAndDicts(is, &schema, &dicts, &num_rows);
+  }
+  if (!s.ok()) return corrupt(s.message());
+
+  std::vector<CodeColumn> columns;
+  columns.reserve(dicts.size());
+  for (int c = 0; c < static_cast<int>(dicts.size()); ++c) {
+    CodeColumn col;
+    s = CodeColumn::OpenSpilled(fs(), ColumnPath(fingerprint, c),
+                                dicts[c]->size(), &col);
+    if (!s.ok()) return corrupt(s.message());
+    if (col.size() != num_rows) {
+      return corrupt("column " + std::to_string(c) + " has " +
+                     std::to_string(col.size()) + " rows, meta says " +
+                     std::to_string(num_rows));
+    }
+    columns.push_back(std::move(col));
+  }
+  *out = Table::FromCodeColumns(std::move(schema), std::move(dicts),
+                                std::move(columns));
+  if (options_.metrics != nullptr) options_.metrics->OnArtifactServe();
+  return Status::OK();
+}
+
+}  // namespace gordian

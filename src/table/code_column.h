@@ -1,0 +1,212 @@
+#ifndef GORDIAN_TABLE_CODE_COLUMN_H_
+#define GORDIAN_TABLE_CODE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "common/status.h"
+
+namespace gordian {
+
+// Rows per chunk of a spilled column file. A chunk is the unit of
+// checksumming and of streaming writes (256 KiB of codes), not of read
+// access: the reader maps the whole file, so lookups stay a flat pointer
+// dereference whether the column is resident or spilled.
+constexpr int64_t kSpillChunkRows = 64 * 1024;
+
+// When and where TableBuilder may move encoded columns out of RAM.
+// The budget governs heap-resident code bytes across the builder's
+// columns; dictionaries always stay resident (codes are meaningless
+// without them, and they are small relative to codes for realistic
+// cardinalities). A default-constructed policy never spills.
+struct SpillPolicy {
+  int64_t memory_budget_bytes = 0;  // 0 disables spilling
+  std::string spill_dir;            // must exist; files named <prefix>-cNN.grdl
+  FileSystem* fs = nullptr;         // DefaultFileSystem() when null
+  int64_t chunk_rows = kSpillChunkRows;
+
+  bool enabled() const { return memory_budget_bytes > 0 && !spill_dir.empty(); }
+};
+
+// One column's dictionary codes, resident or spilled — the storage boundary
+// the rest of the system sees. Both representations expose the codes as one
+// contiguous uint32 array (`data()`), so row addressing costs the same
+// either way; a spilled column's array lives in a shared read-only mmap of
+// its GRDL file and the OS pages it in on demand.
+//
+// Copies are cheap and share storage (a shared_ptr either way), which is
+// what makes SampleRows/SelectColumns views affordable over spilled tables.
+//
+// GRDL v1 file layout (machine-local spill format, native little-endian;
+// magic GRDL — GRDT names the whole-table interchange format in
+// table/serialize.h):
+//
+//   [codes]        rows * 4 bytes, appended chunk by chunk
+//   [chunk table]  num_chunks * 16 bytes: u64 hash, u32 max_code,
+//                  u32 null_count — per-chunk FNV hash of the code bytes
+//                  plus stats the reader re-derives and cross-checks
+//   [trailer]      56 bytes at the very end (the file is append-only while
+//                  being written, so the header goes last, Parquet-style):
+//                  magic 'GRDL', u32 version=1, u64 rows, u32 chunk_rows,
+//                  u32 dict_size, u32 null_code (UINT32_MAX = column has no
+//                  nulls), u32 num_chunks, u64 codes_bytes, u64 reserved,
+//                  u64 trailer_hash (over the preceding 48 trailer bytes)
+//
+// OpenSpilled revalidates everything — trailer hash, size arithmetic,
+// every chunk hash, and that every code is < dict_size — so a torn or
+// bit-flipped file yields a clean Status, never out-of-bounds decoding.
+class CodeColumn {
+ public:
+  struct Span {
+    const uint32_t* data;  // `count` codes starting at row `begin`
+    int64_t begin;
+    int64_t count;
+  };
+
+  CodeColumn() = default;
+
+  static CodeColumn Resident(std::vector<uint32_t> codes);
+
+  // Opens and fully validates a GRDL file written by SpillColumnWriter.
+  // `dict_size` is the owning dictionary's size; stored and recomputed
+  // per-chunk max codes must stay below it.
+  static Status OpenSpilled(FileSystem* fs, const std::string& path,
+                            uint32_t dict_size, CodeColumn* out);
+
+  int64_t size() const { return size_; }
+  bool spilled() const { return meta_ != nullptr; }
+  // Path of the backing GRDL file; empty for resident columns.
+  const std::string& path() const;
+
+  uint32_t operator[](int64_t row) const { return data_[row]; }
+  const uint32_t* data() const { return data_; }
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+
+  // Chunked view for consumers that stream rather than address rows.
+  // Resident columns report the default chunking.
+  int64_t chunk_rows() const;
+  int64_t num_chunks() const;
+  Span Scan(int64_t chunk_index) const;
+
+  // Occurrences of `code` in the column. O(1) from chunk stats when this
+  // is a spilled column's null code; one pass otherwise.
+  int64_t CountEqual(uint32_t code) const;
+
+  // Null code recorded in a spilled column's trailer (UINT32_MAX when the
+  // column has no nulls or is resident).
+  uint32_t spilled_null_code() const;
+
+  // Heap bytes held by this column (code vector capacity); 0 when spilled.
+  int64_t resident_bytes() const;
+  // Bytes of the backing file mapping; 0 when resident.
+  int64_t mapped_bytes() const;
+  // Identity of the shared mapping, for deduplicated accounting across
+  // column views; null for resident columns.
+  const std::shared_ptr<MappedRegion>& region() const;
+
+ private:
+  struct ChunkStat {
+    uint64_t hash;
+    uint32_t max_code;
+    uint32_t null_count;
+  };
+
+  struct SpillMeta {
+    std::string path;
+    std::shared_ptr<MappedRegion> region;
+    int64_t chunk_rows = kSpillChunkRows;
+    uint32_t dict_size = 0;
+    uint32_t null_code = UINT32_MAX;
+    std::vector<ChunkStat> chunks;
+    int64_t null_total = 0;
+  };
+
+  friend class SpillColumnWriter;
+
+  std::shared_ptr<const std::vector<uint32_t>> resident_;
+  std::shared_ptr<const SpillMeta> meta_;
+  const uint32_t* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+// Content equality, irrespective of where either column lives.
+inline bool operator==(const CodeColumn& a, const CodeColumn& b) {
+  if (a.size() != b.size()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+inline bool operator!=(const CodeColumn& a, const CodeColumn& b) {
+  return !(a == b);
+}
+
+// Streams one column's codes into a GRDL file as they are encoded, so the
+// column never needs all its bytes in memory at once. Chunks are written
+// with AppendFile to <final_path>.tmp; Finish appends the chunk table and
+// trailer, fsyncs, renames over the final name, and fsyncs the directory —
+// the same durable-replace sequence the catalog shards use.
+//
+// Failure model: a chunk leaves the in-memory buffer only after its append
+// succeeded, so after any failed call every accepted code is still
+// recoverable — rows_flushed() complete rows at the front of the temp file
+// (a torn tail past that point is ignored) plus the buffer. Reabsorb()
+// hands them back so the builder can fall back to a resident column
+// without losing data; the writer is dead after any failure.
+class SpillColumnWriter {
+ public:
+  SpillColumnWriter(FileSystem* fs, std::string final_path,
+                    int64_t chunk_rows = kSpillChunkRows);
+  ~SpillColumnWriter();
+
+  SpillColumnWriter(const SpillColumnWriter&) = delete;
+  SpillColumnWriter& operator=(const SpillColumnWriter&) = delete;
+
+  // Accepts `n` codes. `null_code` is the owning dictionary's current code
+  // for null (UINT32_MAX while no null has been seen); a code cannot occur
+  // in the stream before the dictionary assigned it, so counting the
+  // latest null code at chunk-flush time is exact.
+  Status Append(const uint32_t* codes, int64_t n, uint32_t null_code);
+
+  // Flushes the final short chunk, writes chunk table + trailer, and
+  // atomically publishes the file at path().
+  Status Finish(uint32_t dict_size, uint32_t null_code);
+
+  // Total codes accepted by successful Append calls (flushed + buffered).
+  int64_t rows() const { return rows_flushed_ + buffered_rows(); }
+  const std::string& path() const { return final_path_; }
+
+  // After a failure: appends every accepted code to *out, in order, and
+  // removes the temp file. Fails only if the temp file itself has become
+  // unreadable or shorter than the rows known to be flushed.
+  Status Reabsorb(std::vector<uint32_t>* out);
+
+ private:
+  int64_t buffered_rows() const {
+    return static_cast<int64_t>(buffer_.size());
+  }
+  Status FlushChunk(int64_t rows_in_chunk);
+
+  FileSystem* fs_;
+  std::string final_path_;
+  std::string tmp_path_;
+  int64_t chunk_rows_;
+  std::vector<uint32_t> buffer_;
+  int64_t rows_flushed_ = 0;
+  uint32_t latest_null_code_ = UINT32_MAX;
+  std::vector<CodeColumn::ChunkStat> chunks_;
+  bool failed_ = false;
+  bool finished_ = false;
+  // The rename onto final_path_ succeeded (set even when the directory
+  // fsync after it failed): recovery and cleanup must look at final_path_,
+  // not the temp name.
+  bool renamed_ = false;
+};
+
+}  // namespace gordian
+
+#endif  // GORDIAN_TABLE_CODE_COLUMN_H_

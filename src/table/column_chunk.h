@@ -33,6 +33,16 @@ class ColumnChunk {
     str_data_.clear();
   }
 
+  // Returns the chunk's heap to the allocator (Clear only resets sizes).
+  // Spilling ingest loops call this so a one-off string-heavy batch doesn't
+  // pin its arena capacity for the rest of the file.
+  void ShrinkToFit() {
+    tags_.shrink_to_fit();
+    words_.shrink_to_fit();
+    null_bits_.shrink_to_fit();
+    str_data_.shrink_to_fit();
+  }
+
   void AppendNull() {
     PushTag(ValueType::kNull, /*null=*/true);
     words_.push_back(0);
@@ -150,6 +160,10 @@ class RowBatch {
 
   void Clear() {
     for (ColumnChunk& c : columns_) c.Clear();
+  }
+
+  void ShrinkToFit() {
+    for (ColumnChunk& c : columns_) c.ShrinkToFit();
   }
 
   int64_t ApproxBytes() const {

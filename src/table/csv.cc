@@ -333,8 +333,10 @@ Status CsvBatchReader::NextBatch(RowBatch* batch, ThreadPool* pool) {
   return Status::OK();
 }
 
-Status ReadCsv(const std::string& path, const CsvOptions& options,
-               Table* out) {
+namespace {
+
+Status ReadCsvImpl(const std::string& path, const CsvOptions& options,
+                   const SpillPolicy& spill, Table* out) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -349,16 +351,35 @@ Status ReadCsv(const std::string& path, const CsvOptions& options,
   if (options.encode_threads > 1) {
     pool = std::make_unique<ThreadPool>(options.encode_threads);
   }
-  TableBuilder builder{Schema(reader.column_names())};
+  TableBuilder builder{Schema(reader.column_names()), spill};
   RowBatch batch;
+  // Once the builder is spilling, the batch arena is the ingest loop's
+  // largest transient; release any outsized capacity (a string-heavy
+  // stretch of the file) right after the encode that consumed it.
+  constexpr int64_t kBatchShrinkBytes = 8 << 20;
   for (;;) {
     s = reader.NextBatch(&batch, pool.get());
     if (!s.ok()) return s;
     if (batch.num_rows() == 0) break;
     builder.AddBatch(batch, pool.get());
+    if (spill.enabled() && batch.ApproxBytes() > kBatchShrinkBytes) {
+      batch.Clear();
+      batch.ShrinkToFit();
+    }
   }
-  *out = builder.Build();
-  return Status::OK();
+  return builder.Build(out);
+}
+
+}  // namespace
+
+Status ReadCsv(const std::string& path, const CsvOptions& options,
+               Table* out) {
+  return ReadCsvImpl(path, options, SpillPolicy(), out);
+}
+
+Status ReadCsv(const std::string& path, const CsvOptions& options,
+               const SpillPolicy& spill, Table* out) {
+  return ReadCsvImpl(path, options, spill, out);
 }
 
 Status WriteCsv(const Table& table, const CsvOptions& options,

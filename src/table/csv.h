@@ -101,6 +101,14 @@ class CsvBatchReader {
 // newlines). All records must have the same number of fields.
 Status ReadCsv(const std::string& path, const CsvOptions& options, Table* out);
 
+// Same, with a spill policy: encoded columns over the memory budget stream
+// to GRDL files in spill.spill_dir as batches arrive, and the scanner's
+// batch arena is released promptly after each encode, so peak ingest
+// memory stays near budget + dictionaries + one batch. The resulting
+// table's contents are identical to the unspilled overload's.
+Status ReadCsv(const std::string& path, const CsvOptions& options,
+               const SpillPolicy& spill, Table* out);
+
 // Writes a table as CSV (header row + one record per entity), quoting fields
 // that contain the delimiter, quotes, or newlines. NULLs are written as
 // empty fields.

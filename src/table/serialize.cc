@@ -221,6 +221,75 @@ Status ReadTable(std::istream& is, Table* out) {
   return Status::OK();
 }
 
+Status WriteSchemaAndDicts(const Table& table, std::ostream& os) {
+  // Distinct magic from the full-table GRDT stream so the two cannot be
+  // confused: a dictionary file fed to ReadTable (or vice versa) fails on
+  // the first four bytes.
+  os.write("GRDD", 4);
+  Writer w(os);
+  w.U32(kFormatVersion);
+  w.U32(static_cast<uint32_t>(table.num_columns()));
+  w.U64(static_cast<uint64_t>(table.num_rows()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    w.Str(table.schema().name(c));
+    const Dictionary& dict = table.dictionary(c);
+    w.U32(dict.size());
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      w.ValueRecord(dict.Decode(code));
+    }
+  }
+  if (!os) return Status::IOError("schema serialization write failed");
+  return Status::OK();
+}
+
+Status ReadSchemaAndDicts(std::istream& is, Schema* schema,
+                          std::vector<std::shared_ptr<Dictionary>>* dicts,
+                          int64_t* num_rows) {
+  char magic[4];
+  is.read(magic, 4);
+  if (is.gcount() != 4 || std::memcmp(magic, "GRDD", 4) != 0) {
+    return Status::InvalidArgument("not a gordian schema stream");
+  }
+  Reader r(is);
+  uint32_t version, num_cols;
+  uint64_t rows;
+  if (!r.U32(&version) || version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported format version");
+  }
+  if (!r.U32(&num_cols) || !r.U64(&rows)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (num_cols > static_cast<uint32_t>(AttributeSet::kMaxAttributes)) {
+    return Status::InvalidArgument("too many columns");
+  }
+  if (rows > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible row count");
+  }
+  std::vector<std::string> names(num_cols);
+  dicts->clear();
+  dicts->reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    if (!r.Str(&names[c])) return Status::InvalidArgument("truncated name");
+    uint32_t dict_size;
+    if (!r.U32(&dict_size)) return Status::InvalidArgument("truncated dict");
+    auto dict = std::make_shared<Dictionary>();
+    for (uint32_t i = 0; i < dict_size; ++i) {
+      Value v;
+      if (!r.ValueRecord(&v)) {
+        return Status::InvalidArgument("corrupt dictionary value");
+      }
+      if (dict->Encode(v) != i) {
+        // A repeated value would silently shift every later code.
+        return Status::InvalidArgument("duplicate dictionary value");
+      }
+    }
+    dicts->push_back(std::move(dict));
+  }
+  *schema = Schema(names);
+  *num_rows = static_cast<int64_t>(rows);
+  return Status::OK();
+}
+
 Status ReadTableFile(const std::string& path, Table* out) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IOError("cannot open " + path);

@@ -35,6 +35,16 @@ Status ReadTableFile(const std::string& path, Table* out);
 Status WriteTable(const Table& table, std::ostream& os);
 Status ReadTable(std::istream& is, Table* out);
 
+// The metadata half of a spilled table artifact: schema + per-column
+// dictionaries + row count, without the code vectors (those live in
+// per-column GRDL files next to it — see service/table_artifacts.h).
+// Reading rebuilds each Dictionary with its original code assignment
+// (values re-encoded in stored order, so value i gets code i).
+Status WriteSchemaAndDicts(const Table& table, std::ostream& os);
+Status ReadSchemaAndDicts(std::istream& is, Schema* schema,
+                          std::vector<std::shared_ptr<Dictionary>>* dicts,
+                          int64_t* num_rows);
+
 }  // namespace gordian
 
 #endif  // GORDIAN_TABLE_SERIALIZE_H_

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "common/status.h"
+#include "table/code_column.h"
 #include "table/column_chunk.h"
 #include "table/dictionary.h"
 #include "table/schema.h"
@@ -18,9 +20,13 @@ namespace gordian {
 
 class ThreadPool;
 
-// An immutable, in-memory, dictionary-encoded column collection — the
-// "collection of entities" that GORDIAN profiles. Each column stores one
-// uint32 code per row; the per-column Dictionary maps codes back to Values.
+// An immutable, dictionary-encoded column collection — the "collection of
+// entities" that GORDIAN profiles. Each column stores one uint32 code per
+// row behind a CodeColumn, which is either heap-resident or an mmap of a
+// spilled GRDL file; the per-column Dictionary maps codes back to Values.
+// Row addressing works identically either way (both representations are
+// one contiguous code array), so profiling code never branches on where a
+// column lives.
 //
 // Row samples of a Table share the parent's dictionaries (codes keep their
 // meaning), so a sample-discovered key can be re-validated against the full
@@ -37,10 +43,13 @@ class Table {
   const Value& value(int64_t row, int col) const {
     return columns_[col].dict->Decode(code(row, col));
   }
-  const std::vector<uint32_t>& column_codes(int col) const {
+  const CodeColumn& column_codes(int col) const {
     return columns_[col].codes;
   }
   const Dictionary& dictionary(int col) const { return *columns_[col].dict; }
+
+  // Number of columns currently backed by spilled GRDL files.
+  int spilled_column_count() const;
 
   // Number of distinct values of `col` among this table's rows. For a table
   // built directly by TableBuilder this equals dictionary(col).size(); for a
@@ -81,11 +90,18 @@ class Table {
   // order (shared dictionaries).
   Table SelectColumns(const std::vector<int>& cols) const;
 
-  // Approximate heap footprint of code vectors + dictionaries. Dictionaries
-  // shared between columns (or with a parent table the caller accounts
-  // separately) are counted once per distinct Dictionary object, and the
-  // cardinality cache is included.
+  // Approximate heap-resident footprint: resident code vectors +
+  // dictionaries + the cardinality cache. Storage shared between columns
+  // or tables (dictionaries, code vectors after SelectColumns/ProjectColumns)
+  // is counted once per distinct object. Mmap-backed bytes of spilled
+  // columns are deliberately excluded — the OS pages them in and out on
+  // demand, so they don't compete for the same budget; MappedBytes()
+  // reports them separately.
   int64_t ApproxBytes() const;
+
+  // Bytes of spilled-column file mappings, counted once per distinct
+  // mapping even when column views share it.
+  int64_t MappedBytes() const;
 
   // Assembles a table directly from per-column dictionaries and code
   // vectors (all code vectors must have equal length; codes need not be
@@ -96,6 +112,13 @@ class Table {
                            std::vector<std::shared_ptr<Dictionary>> dicts,
                            std::vector<std::vector<uint32_t>> codes);
 
+  // Same, from ready-made CodeColumns (resident or spilled). The artifact
+  // store uses this to reattach persisted GRDL columns to their reloaded
+  // dictionaries.
+  static Table FromCodeColumns(Schema schema,
+                               std::vector<std::shared_ptr<Dictionary>> dicts,
+                               std::vector<CodeColumn> columns);
+
   // Renders row `row` as "v0|v1|...".
   std::string RowToString(int64_t row) const;
 
@@ -104,7 +127,7 @@ class Table {
 
   struct ColumnData {
     std::shared_ptr<Dictionary> dict;
-    std::vector<uint32_t> codes;
+    CodeColumn codes;
   };
 
   Schema schema_;
@@ -118,9 +141,18 @@ class Table {
 // (optionally one ThreadPool task per column). AddRow survives as a thin
 // row-at-a-time adapter; both paths assign identical dictionary codes
 // because each column sees its values in the same first-seen order.
+//
+// With an enabled SpillPolicy, the builder watches its resident code bytes
+// after every batch and, when over budget, converts the largest resident
+// columns to streaming GRDL writers — subsequent batches append a chunk at
+// a time and only a sub-chunk tail stays in memory per spilled column.
+// Spilling never changes the table's contents: a spill-I/O failure falls
+// back to a resident column with every code intact (recorded in
+// spill_status()); only an unrecoverable loss poisons the builder, which
+// the Status-returning Build overload reports.
 class TableBuilder {
  public:
-  explicit TableBuilder(Schema schema);
+  explicit TableBuilder(Schema schema, SpillPolicy policy = SpillPolicy());
 
   // Appends one entity; `row` must have schema().num_columns() values.
   void AddRow(const std::vector<Value>& row);
@@ -135,15 +167,51 @@ class TableBuilder {
 
   const Schema& schema() const { return table_.schema(); }
 
-  // Approximate heap footprint of the under-construction code vectors and
-  // dictionaries.
-  int64_t ApproxBytes() const { return table_.ApproxBytes(); }
+  // Approximate heap footprint of the under-construction resident code
+  // vectors and dictionaries (spilled bytes excluded, like
+  // Table::ApproxBytes).
+  int64_t ApproxBytes() const;
 
-  // Finalizes and returns the table; the builder is left empty.
+  // First spill problem encountered, if any. ok() when spilling is off or
+  // healthy; an error here with a successful Build means the builder
+  // degraded to resident columns without data loss.
+  const Status& spill_status() const { return spill_status_; }
+
+  // Columns currently being streamed to GRDL writers.
+  int spilling_column_count() const;
+
+  // Finalizes into *out. Fails only when spilled data could not be
+  // recovered (never for a clean degrade to resident). The builder is left
+  // empty.
+  Status Build(Table* out);
+
+  // Legacy infallible form; asserts that no unrecoverable spill loss
+  // occurred (always true when spilling is disabled).
   Table Build();
 
  private:
+  struct BuildColumn {
+    // Resident codes for an unspilled column; per-batch scratch (cleared
+    // after each writer append) once spilling.
+    std::vector<uint32_t> codes;
+    std::unique_ptr<SpillColumnWriter> writer;
+    // Spill problem found while encoding this column (possibly on a pool
+    // thread); merged into spill_status_ after the batch latch.
+    Status pending_status;
+    bool lost_data = false;
+  };
+
+  void EncodeColumnBatch(const RowBatch& batch, int c);
+  void MaybeSpill();
+  void MergeColumnStatuses();
+  uint32_t NullCodeOf(int c) const;
+
   Table table_;
+  std::vector<BuildColumn> cols_;
+  SpillPolicy policy_;
+  std::string spill_prefix_;
+  Status spill_status_;
+  bool poisoned_ = false;
   int64_t num_rows_ = 0;
 };
 

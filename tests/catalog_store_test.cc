@@ -20,7 +20,7 @@
 #include "common/status.h"
 #include "datagen/synthetic.h"
 #include "service/catalog_store.h"
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 #include "service/key_catalog.h"
 #include "service/metrics.h"
 #include "service/profiling_service.h"

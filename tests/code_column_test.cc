@@ -1,0 +1,368 @@
+// Unit tests for the CodeColumn storage boundary: resident and spilled
+// representations, the GRDL writer/reader round trip, the exhaustive
+// single-byte corruption matrix, and the fault-injection (torn write /
+// crashed save / short read) recovery matrix.
+
+#include "table/code_column.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "common/status.h"
+
+namespace gordian {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "gordian_codecol_" + name;
+  EXPECT_TRUE(DefaultFileSystem()->CreateDir(dir).ok());
+  return dir;
+}
+
+// Deterministic codes with a sprinkling of a designated null code.
+std::vector<uint32_t> MakeCodes(int64_t n, uint32_t dict_size,
+                                uint32_t null_code, uint64_t seed) {
+  std::vector<uint32_t> codes;
+  codes.reserve(static_cast<size_t>(n));
+  uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (int64_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint32_t c = static_cast<uint32_t>((state >> 33) % dict_size);
+    if (null_code != UINT32_MAX && (state >> 13) % 11 == 0) c = null_code;
+    codes.push_back(c);
+  }
+  return codes;
+}
+
+// Streams `codes` through a SpillColumnWriter in uneven slices and
+// publishes the file at `path`.
+Status WriteColumn(FileSystem* fs, const std::string& path,
+                   const std::vector<uint32_t>& codes, uint32_t dict_size,
+                   uint32_t null_code, int64_t chunk_rows) {
+  SpillColumnWriter w(fs, path, chunk_rows);
+  int64_t i = 0;
+  int64_t step = 1;
+  while (i < static_cast<int64_t>(codes.size())) {
+    int64_t n = std::min<int64_t>(step, codes.size() - i);
+    Status s = w.Append(codes.data() + i, n, null_code);
+    if (!s.ok()) return s;
+    i += n;
+    step = step % 97 + 7;  // uneven slice sizes cross chunk boundaries
+  }
+  return w.Finish(dict_size, null_code);
+}
+
+TEST(CodeColumn, ResidentBasics) {
+  CodeColumn col = CodeColumn::Resident({5, 1, 5, 2});
+  EXPECT_EQ(col.size(), 4);
+  EXPECT_FALSE(col.spilled());
+  EXPECT_EQ(col[0], 5u);
+  EXPECT_EQ(col[3], 2u);
+  EXPECT_EQ(col.CountEqual(5), 2);
+  EXPECT_EQ(col.CountEqual(9), 0);
+  EXPECT_GT(col.resident_bytes(), 0);
+  EXPECT_EQ(col.mapped_bytes(), 0);
+  EXPECT_EQ(col.spilled_null_code(), UINT32_MAX);
+  EXPECT_EQ(col.path(), "");
+
+  // Copies share the storage.
+  CodeColumn copy = col;
+  EXPECT_EQ(copy.data(), col.data());
+  EXPECT_EQ(copy, col);
+}
+
+TEST(CodeColumn, SpillRoundTripAcrossChunkShapes) {
+  const std::string dir = TestDir("roundtrip");
+  const uint32_t dict_size = 40;
+  const uint32_t null_code = 3;
+  // Row counts around chunk boundaries: empty, sub-chunk, exact multiples,
+  // and partial tails.
+  const int64_t chunk_rows = 64;
+  for (int64_t rows : {int64_t{0}, int64_t{1}, int64_t{63}, int64_t{64},
+                       int64_t{65}, int64_t{640}, int64_t{1000}}) {
+    std::vector<uint32_t> codes = MakeCodes(rows, dict_size, null_code, rows);
+    const std::string path = dir + "/c" + std::to_string(rows) + ".grdl";
+    ASSERT_TRUE(WriteColumn(DefaultFileSystem(), path, codes, dict_size,
+                            rows > 0 ? null_code : UINT32_MAX, chunk_rows)
+                    .ok());
+
+    CodeColumn col;
+    ASSERT_TRUE(
+        CodeColumn::OpenSpilled(DefaultFileSystem(), path, dict_size, &col)
+            .ok())
+        << rows << " rows";
+    EXPECT_TRUE(col.spilled());
+    EXPECT_EQ(col.path(), path);
+    ASSERT_EQ(col.size(), rows);
+    for (int64_t i = 0; i < rows; ++i) ASSERT_EQ(col[i], codes[i]) << i;
+    EXPECT_EQ(col, CodeColumn::Resident(codes));
+
+    EXPECT_EQ(col.chunk_rows(), chunk_rows);
+    EXPECT_EQ(col.num_chunks(), (rows + chunk_rows - 1) / chunk_rows);
+    int64_t scanned = 0;
+    for (int64_t c = 0; c < col.num_chunks(); ++c) {
+      CodeColumn::Span span = col.Scan(c);
+      EXPECT_EQ(span.begin, c * chunk_rows);
+      for (int64_t i = 0; i < span.count; ++i) {
+        ASSERT_EQ(span.data[i], codes[static_cast<size_t>(span.begin + i)]);
+      }
+      scanned += span.count;
+    }
+    EXPECT_EQ(scanned, rows);
+
+    EXPECT_EQ(col.resident_bytes(), 0);
+    EXPECT_GT(col.mapped_bytes(), 0);
+  }
+}
+
+TEST(CodeColumn, SpilledNullStatsAreExactAndO1) {
+  const std::string dir = TestDir("nullstats");
+  const uint32_t dict_size = 17;
+  const uint32_t null_code = 4;
+  std::vector<uint32_t> codes = MakeCodes(5000, dict_size, null_code, 7);
+  int64_t expect_nulls = 0;
+  for (uint32_t c : codes) expect_nulls += c == null_code ? 1 : 0;
+  ASSERT_GT(expect_nulls, 0);
+
+  const std::string path = dir + "/col.grdl";
+  ASSERT_TRUE(WriteColumn(DefaultFileSystem(), path, codes, dict_size,
+                          null_code, 256)
+                  .ok());
+  CodeColumn col;
+  ASSERT_TRUE(
+      CodeColumn::OpenSpilled(DefaultFileSystem(), path, dict_size, &col)
+          .ok());
+  EXPECT_EQ(col.spilled_null_code(), null_code);
+  // Served from chunk stats, no scan — but must agree with the scan.
+  EXPECT_EQ(col.CountEqual(null_code), expect_nulls);
+  EXPECT_EQ(CodeColumn::Resident(codes).CountEqual(null_code), expect_nulls);
+
+  // A column never told about a null code records none.
+  std::vector<uint32_t> plain = MakeCodes(300, dict_size, UINT32_MAX, 8);
+  const std::string plain_path = dir + "/plain.grdl";
+  ASSERT_TRUE(WriteColumn(DefaultFileSystem(), plain_path, plain, dict_size,
+                          UINT32_MAX, 256)
+                  .ok());
+  CodeColumn pcol;
+  ASSERT_TRUE(CodeColumn::OpenSpilled(DefaultFileSystem(), plain_path,
+                                      dict_size, &pcol)
+                  .ok());
+  EXPECT_EQ(pcol.spilled_null_code(), UINT32_MAX);
+}
+
+TEST(CodeColumn, OpenRejectsDictionarySizeMismatch) {
+  const std::string dir = TestDir("dictsize");
+  std::vector<uint32_t> codes = MakeCodes(200, 30, UINT32_MAX, 3);
+  const std::string path = dir + "/col.grdl";
+  ASSERT_TRUE(
+      WriteColumn(DefaultFileSystem(), path, codes, 30, UINT32_MAX, 64).ok());
+  CodeColumn col;
+  // Larger-than-stored and smaller-than-stored both refuse: codes must be
+  // provably < the dictionary the reader will decode them with.
+  EXPECT_FALSE(
+      CodeColumn::OpenSpilled(DefaultFileSystem(), path, 31, &col).ok());
+  EXPECT_FALSE(
+      CodeColumn::OpenSpilled(DefaultFileSystem(), path, 5, &col).ok());
+  EXPECT_TRUE(
+      CodeColumn::OpenSpilled(DefaultFileSystem(), path, 30, &col).ok());
+}
+
+TEST(CodeColumn, OpenRejectsMissingFile) {
+  CodeColumn col;
+  Status s = CodeColumn::OpenSpilled(
+      DefaultFileSystem(), TestDir("missing") + "/nope.grdl", 4, &col);
+  EXPECT_FALSE(s.ok());
+}
+
+// Every single-byte flip anywhere in a GRDL file must fail OpenSpilled with
+// a clean Status: codes are covered by chunk hashes, chunk stats are
+// cross-checked against recomputation, and the trailer carries its own
+// checksum. No flip may open successfully (and none may crash).
+TEST(CodeColumn, SingleByteCorruptionMatrix) {
+  const std::string dir = TestDir("corrupt");
+  const uint32_t dict_size = 20;
+  std::vector<uint32_t> codes = MakeCodes(300, dict_size, 2, 11);
+  const std::string path = dir + "/col.grdl";
+  ASSERT_TRUE(
+      WriteColumn(DefaultFileSystem(), path, codes, dict_size, 2, 64).ok());
+
+  std::string image;
+  ASSERT_TRUE(DefaultFileSystem()->ReadFile(path, &image).ok());
+  // 300 codes, 5 chunks: 1200 + 80 + 56 bytes.
+  ASSERT_EQ(image.size(), 1336u);
+
+  const std::string mutant = dir + "/mutant.grdl";
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string bytes = image;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
+    ASSERT_TRUE(DefaultFileSystem()->WriteFile(mutant, bytes).ok());
+    CodeColumn col;
+    EXPECT_FALSE(
+        CodeColumn::OpenSpilled(DefaultFileSystem(), mutant, dict_size, &col)
+            .ok())
+        << "flip at byte " << i << " was not detected";
+  }
+}
+
+TEST(CodeColumn, TruncationAndTrailingGarbageAreDetected) {
+  const std::string dir = TestDir("truncate");
+  const uint32_t dict_size = 20;
+  std::vector<uint32_t> codes = MakeCodes(300, dict_size, UINT32_MAX, 13);
+  const std::string path = dir + "/col.grdl";
+  ASSERT_TRUE(WriteColumn(DefaultFileSystem(), path, codes, dict_size,
+                          UINT32_MAX, 64)
+                  .ok());
+  std::string image;
+  ASSERT_TRUE(DefaultFileSystem()->ReadFile(path, &image).ok());
+
+  const std::string mutant = dir + "/mutant.grdl";
+  for (size_t keep : {size_t{0}, size_t{1}, size_t{55}, size_t{56},
+                      size_t{100}, image.size() - 1}) {
+    ASSERT_TRUE(
+        DefaultFileSystem()->WriteFile(mutant, image.substr(0, keep)).ok());
+    CodeColumn col;
+    EXPECT_FALSE(
+        CodeColumn::OpenSpilled(DefaultFileSystem(), mutant, dict_size, &col)
+            .ok())
+        << "truncation to " << keep << " bytes was not detected";
+  }
+  ASSERT_TRUE(DefaultFileSystem()->WriteFile(mutant, image + "x").ok());
+  CodeColumn col;
+  EXPECT_FALSE(
+      CodeColumn::OpenSpilled(DefaultFileSystem(), mutant, dict_size, &col)
+          .ok());
+}
+
+TEST(CodeColumn, WriterRemovesStaleTempAndAbandonedTemp) {
+  const std::string dir = TestDir("tmpfiles");
+  const std::string path = dir + "/col.grdl";
+  // A stale temp from a crashed predecessor must not leak into the stream.
+  ASSERT_TRUE(DefaultFileSystem()->WriteFile(path + ".tmp", "junk").ok());
+  {
+    SpillColumnWriter w(DefaultFileSystem(), path, 16);
+    std::vector<uint32_t> codes = MakeCodes(100, 10, UINT32_MAX, 1);
+    ASSERT_TRUE(w.Append(codes.data(), 100, UINT32_MAX).ok());
+    ASSERT_TRUE(w.Finish(10, UINT32_MAX).ok());
+    CodeColumn col;
+    ASSERT_TRUE(
+        CodeColumn::OpenSpilled(DefaultFileSystem(), path, 10, &col).ok());
+    EXPECT_EQ(col, CodeColumn::Resident(codes));
+  }
+  // An abandoned (never finished) writer cleans up its temp file.
+  {
+    SpillColumnWriter w(DefaultFileSystem(), dir + "/gone.grdl", 16);
+    std::vector<uint32_t> codes = MakeCodes(100, 10, UINT32_MAX, 2);
+    ASSERT_TRUE(w.Append(codes.data(), 100, UINT32_MAX).ok());
+  }
+  EXPECT_FALSE(DefaultFileSystem()->FileExists(dir + "/gone.grdl.tmp"));
+  EXPECT_FALSE(DefaultFileSystem()->FileExists(dir + "/gone.grdl"));
+}
+
+// The crash matrix: fail every step of the append/publish sequence —
+// including torn appends that leave a byte prefix — and require Reabsorb
+// to hand back every accepted code, in order.
+TEST(CodeColumn, FaultMatrixReabsorbRecoversEveryAcceptedCode) {
+  struct Case {
+    FaultSpec spec;
+    const char* what;
+  };
+  std::vector<Case> cases;
+  for (int countdown : {0, 1, 3, 7}) {
+    for (int64_t partial : {int64_t{-1}, int64_t{0}, int64_t{5},
+                            int64_t{63}}) {
+      FaultSpec spec;
+      spec.op = FsOp::kAppend;
+      spec.countdown = countdown;
+      spec.partial_bytes = partial;
+      cases.push_back({spec, "append"});
+    }
+  }
+  for (FsOp op : {FsOp::kSyncFile, FsOp::kRename, FsOp::kSyncDir}) {
+    FaultSpec spec;
+    spec.op = op;
+    cases.push_back({spec, "finish"});
+  }
+
+  const std::string dir = TestDir("faults");
+  const uint32_t dict_size = 25;
+  const uint32_t null_code = 6;
+  std::vector<uint32_t> codes = MakeCodes(200, dict_size, null_code, 17);
+
+  int case_idx = 0;
+  for (const Case& c : cases) {
+    FaultInjectionFs ffs(DefaultFileSystem());
+    const std::string path =
+        dir + "/col" + std::to_string(case_idx++) + ".grdl";
+    SpillColumnWriter w(&ffs, path, 16);
+    ffs.Arm(c.spec);
+
+    // Feed in slices of 7; stop at the first failure.
+    std::vector<uint32_t> accepted;
+    Status s;
+    for (size_t i = 0; i < codes.size() && s.ok(); i += 7) {
+      size_t n = std::min<size_t>(7, codes.size() - i);
+      s = w.Append(codes.data() + i, static_cast<int64_t>(n), null_code);
+      // Append buffers before it flushes, so even a failing call's codes
+      // are accepted (recoverable); only codes never passed in are not.
+      accepted.insert(accepted.end(), codes.begin() + i,
+                      codes.begin() + i + n);
+    }
+    if (s.ok()) s = w.Finish(dict_size, null_code);
+
+    if (s.ok()) {
+      // Fault never hit the writer's ops (possible only if countdown
+      // outlived the sequence); the published file must be valid.
+      CodeColumn col;
+      ASSERT_TRUE(
+          CodeColumn::OpenSpilled(DefaultFileSystem(), path, dict_size, &col)
+              .ok());
+      EXPECT_EQ(col, CodeColumn::Resident(codes));
+      continue;
+    }
+    ASSERT_TRUE(ffs.fired()) << c.what;
+    std::vector<uint32_t> recovered;
+    ASSERT_TRUE(w.Reabsorb(&recovered).ok())
+        << c.what << " countdown=" << c.spec.countdown
+        << " partial=" << c.spec.partial_bytes;
+    EXPECT_EQ(recovered, accepted)
+        << c.what << " countdown=" << c.spec.countdown
+        << " partial=" << c.spec.partial_bytes;
+    // Nothing was published under the final name — except after a SyncDir
+    // fault, where the rename itself succeeded and the halted fs refuses
+    // Reabsorb's cleanup Remove; recovery (asserted above) is what matters.
+    if (c.spec.op != FsOp::kSyncDir) {
+      EXPECT_FALSE(DefaultFileSystem()->FileExists(path));
+    }
+  }
+}
+
+// A short read at map time (the fault seam's kMap) must surface as the
+// injected error, not a crash or a half-open column.
+TEST(CodeColumn, MapFaultFailsOpenCleanly) {
+  const std::string dir = TestDir("mapfault");
+  const std::string path = dir + "/col.grdl";
+  std::vector<uint32_t> codes = MakeCodes(100, 10, UINT32_MAX, 19);
+  ASSERT_TRUE(WriteColumn(DefaultFileSystem(), path, codes, 10, UINT32_MAX,
+                          16)
+                  .ok());
+
+  FaultInjectionFs ffs(DefaultFileSystem());
+  FaultSpec spec;
+  spec.op = FsOp::kMap;
+  ffs.Arm(spec);
+  CodeColumn col;
+  Status s = CodeColumn::OpenSpilled(&ffs, path, 10, &col);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(ffs.fired());
+  // The same fs works once the fault is cleared.
+  ffs.Reset();
+  ASSERT_TRUE(CodeColumn::OpenSpilled(&ffs, path, 10, &col).ok());
+  EXPECT_EQ(col, CodeColumn::Resident(codes));
+}
+
+}  // namespace
+}  // namespace gordian

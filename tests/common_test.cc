@@ -142,6 +142,27 @@ TEST(MemoryTracker, TracksCurrentAndPeak) {
   EXPECT_EQ(t.peak_bytes(), 0);
 }
 
+TEST(MemoryTracker, MappedBytesAreTalliedSeparatelyFromHeap) {
+  // Pinned: mmap-backed bytes must never leak into the heap-resident
+  // counters — a spilled column would otherwise count against the very
+  // budget that spilling exists to relieve.
+  MemoryTracker t;
+  t.Add(100);
+  t.AddMapped(4096);
+  EXPECT_EQ(t.current_bytes(), 100);
+  EXPECT_EQ(t.peak_bytes(), 100);
+  EXPECT_EQ(t.current_mapped_bytes(), 4096);
+  EXPECT_EQ(t.peak_mapped_bytes(), 4096);
+  t.ReleaseMapped(4096);
+  t.AddMapped(1024);
+  EXPECT_EQ(t.current_mapped_bytes(), 1024);
+  EXPECT_EQ(t.peak_mapped_bytes(), 4096);
+  EXPECT_EQ(t.current_bytes(), 100);
+  t.Reset();
+  EXPECT_EQ(t.current_mapped_bytes(), 0);
+  EXPECT_EQ(t.peak_mapped_bytes(), 0);
+}
+
 TEST(MemoryTracker, ConcurrentAddReleaseBalancesAndBoundsPeak) {
   // Several threads each add then release the same total; the final current
   // count must be exactly zero and the peak must be at least one thread's

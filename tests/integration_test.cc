@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/foreign_key.h"
 #include "core/gordian.h"
@@ -12,6 +13,7 @@
 #include "engine/executor.h"
 #include "engine/workload.h"
 #include "table/csv.h"
+#include "table/fingerprint.h"
 
 namespace gordian {
 namespace {
@@ -118,6 +120,43 @@ TEST(Integration, AdvisorPipelineOnFactSlice) {
   EXPECT_NE(plan.index, nullptr);
   EXPECT_EQ(ExecuteScan(*lineitem, store, q),
             Execute(*lineitem, store, plan, q));
+}
+
+// The whole pipeline again, but ingesting under a spill budget. CI runs this
+// leg a second time with GORDIAN_SPILL_BUDGET_MB=64 to prove discovery is
+// budget-oblivious at integration scale; the default is a deliberately tiny
+// budget so the spill path is exercised on every local run too.
+TEST(Integration, CsvIngestUnderSpillBudgetFindsSameKeys) {
+  Dataset d = MakeBaseballDataset(/*scale=*/0.02, /*seed=*/506);
+  const Table& players = d.tables[0].table;
+  std::string dir = ::testing::TempDir() + "spill_leg";
+  ASSERT_TRUE(DefaultFileSystem()->CreateDir(dir).ok());
+  std::string path = dir + "/players.csv";
+  ASSERT_TRUE(WriteCsv(players, CsvOptions{}, path).ok());
+
+  SpillPolicy spill;
+  const char* mb = std::getenv("GORDIAN_SPILL_BUDGET_MB");
+  spill.memory_budget_bytes =
+      mb != nullptr ? std::atoll(mb) * (int64_t{1} << 20) : int64_t{256} << 10;
+  spill.spill_dir = dir;
+  ASSERT_TRUE(spill.enabled());
+
+  Table resident, spilled;
+  ASSERT_TRUE(ReadCsv(path, CsvOptions{}, &resident).ok());
+  ASSERT_TRUE(ReadCsv(path, CsvOptions{}, spill, &spilled).ok());
+  EXPECT_EQ(TableFingerprint(spilled), TableFingerprint(resident));
+  // Only assert that spilling happened when the budget is genuinely below
+  // the table's resident footprint (the CI 64 MB leg may not need to spill).
+  if (spill.memory_budget_bytes < resident.ApproxBytes()) {
+    EXPECT_GT(spilled.spilled_column_count(), 0);
+  }
+
+  auto sorted = [](std::vector<AttributeSet> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(FindKeys(spilled).KeySets()),
+            sorted(FindKeys(resident).KeySets()));
 }
 
 // Foreign keys across the TPC-H stand-in: partsupp -> part and -> supplier.

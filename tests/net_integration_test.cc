@@ -26,7 +26,7 @@
 #include "datagen/synthetic.h"
 #include "net/client.h"
 #include "net/wire.h"
-#include "service/fault_fs.h"
+#include "common/fault_fs.h"
 #include "service/profiling_service.h"
 #include "table/fingerprint.h"
 
