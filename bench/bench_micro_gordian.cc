@@ -20,12 +20,14 @@
 #include "common/stopwatch.h"
 #include "core/frozen_tree.h"
 #include "core/gordian.h"
+#include "core/incremental.h"
 #include "core/non_key_finder.h"
 #include "core/non_key_set.h"
 #include "core/pipeline.h"
 #include "core/prefix_tree.h"
 #include "datagen/opic_like.h"
 #include "datagen/synthetic.h"
+#include "table/column_chunk.h"
 
 namespace gordian {
 namespace {
@@ -222,6 +224,66 @@ void BM_TraverseWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_TraverseWarm)->Arg(0)->Arg(1);
 
+// Rows [begin, end) of `t` re-materialised as a RowBatch — the append-side
+// input format.
+RowBatch TableSliceToBatch(const Table& t, int64_t begin, int64_t end) {
+  RowBatch batch(t.num_columns());
+  std::vector<Value> row(static_cast<size_t>(t.num_columns()));
+  for (int64_t r = begin; r < end; ++r) {
+    for (int c = 0; c < t.num_columns(); ++c)
+      row[static_cast<size_t>(c)] = t.value(r, c);
+    batch.AppendRow(row);
+  }
+  return batch;
+}
+
+// Slice-heavy uniform data at an arbitrary size (seed varies with the size
+// so every table is a fresh draw, not a prefix of another).
+Table MakeUniformTable(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec = UniformSpec(8, rows, 32, 0.3, seed);
+  spec.ensure_unique_rows = true;
+  Table t;
+  Status s = GenerateSynthetic(spec, &t);
+  if (!s.ok()) std::cerr << s.ToString() << "\n";
+  return t;
+}
+
+// Per-batch cost of the continuous-profiling loop: absorb a 512-row delta
+// into the standing tree and re-traverse warm-started from the previous
+// non-keys. Each iteration appends a distinct slice of a pregenerated pool,
+// so the table grows exactly as it would in production; iterations are
+// capped so the pool is never recycled (re-appending identical rows would
+// fabricate duplicate entities and short-circuit discovery).
+void BM_IncrementalAppend(benchmark::State& state) {
+  const int64_t base_rows = state.range(0);
+  Table base = MakeUniformTable(base_rows, 906 + static_cast<uint64_t>(
+                                                     base_rows));
+  Table pool = MakeUniformTable(4096, 917);
+  IncrementalProfiler prof;
+  Status s = IncrementalProfiler::Begin(base, GordianOptions(), &prof);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  int64_t off = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    RowBatch delta = TableSliceToBatch(pool, off, off + 512);
+    off += 512;
+    state.ResumeTiming();
+    s = prof.Append(delta);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["rows"] = static_cast<double>(prof.num_rows());
+}
+BENCHMARK(BM_IncrementalAppend)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Iterations(8);
+
 // One timed FindKeys configuration for the JSON summary: best wall time of
 // `reps` runs plus the reported peak bytes of the last run.
 struct KernelSample {
@@ -253,14 +315,7 @@ KernelSample MeasureFindKeys(const Table& t, int threads, int reps) {
 // default ordering, which single-entity-prunes every slice and leaves only
 // the serial root merge — worth measuring too, as the parallel mode's
 // worst case.
-Table MakeSliceHeavyTable() {
-  SyntheticSpec spec = UniformSpec(8, 20000, 32, 0.3, 906);
-  spec.ensure_unique_rows = true;
-  Table t;
-  Status s = GenerateSynthetic(spec, &t);
-  if (!s.ok()) std::cerr << s.ToString() << "\n";
-  return t;
-}
+Table MakeSliceHeavyTable() { return MakeUniformTable(20000, 906); }
 
 void WriteDatasetJson(std::ostream& os, const std::string& name,
                       const Table& t, int reps) {
@@ -334,6 +389,71 @@ void WriteFrozenDatasetJson(std::ostream& os, const std::string& name,
      << ", \"nodes\": " << frozen->node_count() << "}";
 }
 
+// Append-vs-full grid: per-batch latency of the incremental path (absorb
+// the delta into the standing tree, then a warm-started re-traversal)
+// against a from-scratch FindKeys over the concatenated table. Read along
+// base_rows at fixed delta_rows for the sublinear-in-table-size trend, and
+// along delta_rows at fixed base_rows for the ~linear-in-delta trend.
+void WriteAppendVsFullJson(std::ostream& os, int reps) {
+  const int64_t base_sizes[] = {5000, 20000, 50000};
+  const int64_t delta_sizes[] = {128, 512, 2048};
+  Table pool = MakeUniformTable(3 * 2048, 917);
+  os << "   \"config\": \"append: IncrementalProfiler::Append (tree absorb "
+        "+ warm re-traversal, serial); full: from-scratch FindKeys on the "
+        "concatenated table, serial; best of reps\",\n"
+     << "   \"dataset\": \"uniform_8attr_card32_unique_rows\",\n"
+     << "   \"points\": [\n";
+  bool first = true;
+  for (int64_t base_rows : base_sizes) {
+    Table base =
+        MakeUniformTable(base_rows, 906 + static_cast<uint64_t>(base_rows));
+    for (int64_t delta_rows : delta_sizes) {
+      // One standing profiler per grid point; each rep appends a distinct
+      // pool slice (the table drifts by at most reps * delta rows, noise
+      // against the base size) and the best wall time is kept.
+      GordianOptions opts;
+      opts.traversal_threads = -1;  // pin serial on both sides of the grid
+      IncrementalProfiler prof;
+      Status s = IncrementalProfiler::Begin(base, opts, &prof);
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        return;
+      }
+      double append_best = 0;
+      int64_t off = 0;
+      for (int i = 0; i < reps; ++i) {
+        RowBatch delta = TableSliceToBatch(pool, off, off + delta_rows);
+        off += delta_rows;
+        Stopwatch watch;
+        s = prof.Append(delta);
+        const double secs = watch.ElapsedSeconds();
+        if (!s.ok()) std::cerr << s.ToString() << "\n";
+        if (i == 0 || secs < append_best) append_best = secs;
+      }
+      // The full-rerun strawman profiles base + one delta from scratch.
+      TableBuilder builder(base.schema());
+      builder.AddBatch(TableSliceToBatch(base, 0, base.num_rows()));
+      builder.AddBatch(TableSliceToBatch(pool, 0, delta_rows));
+      Table concat;
+      s = builder.Build(&concat);
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        return;
+      }
+      const KernelSample full = MeasureFindKeys(concat, -1, reps);
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"base_rows\": " << base_rows
+         << ", \"delta_rows\": " << delta_rows
+         << ", \"append_wall_seconds\": " << append_best
+         << ", \"full_wall_seconds\": " << full.best_seconds
+         << ", \"speedup_vs_full\": "
+         << (append_best > 0 ? full.best_seconds / append_best : 0) << "}";
+    }
+  }
+  os << "\n   ]\n";
+}
+
 // Serial-vs-parallel kernel summary, one JSON object per dataset and
 // configuration. Written after the google-benchmark run so CI can diff wall
 // time and peak bytes across commits without parsing human-oriented output.
@@ -368,7 +488,10 @@ void WriteKernelJson() {
   os << ",\n";
   WriteFrozenDatasetJson(os, "opic_50k_16attr", SharedTable(50000, 16),
                          kReps);
-  os << "\n   ]\n  }\n}\n";
+  os << "\n   ]\n  },\n"
+     << "  \"append_vs_full\": {\n";
+  WriteAppendVsFullJson(os, kReps);
+  os << "  }\n}\n";
   std::cout << "wrote " << path << "\n";
 }
 

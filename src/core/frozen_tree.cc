@@ -316,6 +316,10 @@ bool FrozenNonKeyFinder::OverBudget() {
 }
 
 bool FrozenNonKeyFinder::FutilityCovered(const AttributeSet& probe) {
+  if (warm_cover_ != nullptr && warm_cover_->CoversSet(probe)) {
+    if (stats_ != nullptr) ++stats_->warm_start_prunes;
+    return true;
+  }
   if (non_keys_->CoversSet(probe)) return true;
   if (remote_cover_ && remote_cover_(probe)) {
     if (stats_ != nullptr) ++stats_->futility_snapshot_prunes;

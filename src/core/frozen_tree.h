@@ -165,6 +165,7 @@ class FrozenNonKeyFinder {
   void SetMaintenanceHook(std::function<void()> hook) {
     maintenance_ = std::move(hook);
   }
+  void SetWarmCover(const NonKeySet* warm) { warm_cover_ = warm; }
 
  private:
   // Tagged node handle: either a PrefixTree::Node* (bit 0 clear) or a
@@ -280,6 +281,7 @@ class FrozenNonKeyFinder {
   const std::atomic<bool>* external_stop_ = nullptr;
   std::function<bool(const AttributeSet&)> remote_cover_;
   std::function<void()> maintenance_;
+  const NonKeySet* warm_cover_ = nullptr;
 
   Stopwatch budget_watch_;
   double budget_offset_seconds_ = 0;

@@ -123,6 +123,10 @@ bool NonKeyFinder::OverBudget() {
 }
 
 bool NonKeyFinder::FutilityCovered(const AttributeSet& probe) {
+  if (warm_cover_ != nullptr && warm_cover_->CoversSet(probe)) {
+    if (stats_ != nullptr) ++stats_->warm_start_prunes;
+    return true;
+  }
   if (non_keys_->CoversSet(probe)) return true;
   if (remote_cover_ && remote_cover_(probe)) {
     if (stats_ != nullptr) ++stats_->futility_snapshot_prunes;

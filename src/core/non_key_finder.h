@@ -104,6 +104,13 @@ class NonKeyFinder {
     remote_cover_ = std::move(cover);
   }
 
+  // Warm-start cover (options.warm_start_non_keys materialized as a
+  // NonKeySet): consulted by the futility test before the working set, so
+  // prunes earned by the prior run's non-keys are counted under
+  // warm_start_prunes. `warm` is read-only here and may be shared across
+  // workers; it must outlive the traversal.
+  void SetWarmCover(const NonKeySet* warm) { warm_cover_ = warm; }
+
   // Invoked once every 4096 visits (the same amortization as the wall-clock
   // budget check). Workers use it to publish their local non-keys and to
   // refresh their view of the snapshot board.
@@ -145,6 +152,7 @@ class NonKeyFinder {
   const std::atomic<bool>* external_stop_ = nullptr;
   std::function<bool(const AttributeSet&)> remote_cover_;
   std::function<void()> maintenance_;
+  const NonKeySet* warm_cover_ = nullptr;
 
   // Budget state (see GordianOptions): aborted_ unwinds the recursion.
   // visit_tick_ amortizes the clock check and maintenance hook; it is local

@@ -3,6 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
+
+#include "common/attribute_set.h"
 
 namespace gordian {
 
@@ -88,6 +91,18 @@ struct GordianOptions {
   // the profiling service to cancel in-flight jobs without killing threads.
   const std::atomic<bool>* cancel_flag = nullptr;
 
+  // Warm-start seed for incremental re-profiles (appends). Every set listed
+  // here must be a genuine non-key of the table being profiled — GORDIAN's
+  // monotonicity property guarantees this for any non-key set discovered
+  // before rows were appended, since appending rows can only create new
+  // non-keys, never retract one. The seeds are inserted into the working
+  // NonKeySet before traversal starts, so futility pruning skips the
+  // already-settled regions and the search only explores the frontier the
+  // delta can change. Complete runs produce the identical canonical non-key
+  // antichain (and hence identical keys) with or without seeding; only the
+  // work counters differ. The pointed-to vector must outlive the run.
+  const std::vector<AttributeSet>* warm_start_non_keys = nullptr;
+
   // Traversal representation. When true (the default), the built prefix
   // tree is flattened into the read-only FrozenTree layout right after the
   // build phase and the non-key search runs FrozenNonKeyFinder's
@@ -133,6 +148,11 @@ struct GordianStats {
   // Of the futility_prunes, how many fired off another worker's published
   // snapshot rather than locally discovered non-keys (parallel mode only).
   int64_t futility_snapshot_prunes = 0;
+  // Warm start (incremental re-profiles): non-keys seeded from a prior run
+  // before traversal began, and how many futility prunes fired off the
+  // seeded cover rather than non-keys discovered in this run.
+  int64_t warm_start_seeds = 0;
+  int64_t warm_start_prunes = 0;
 
   // NonKeySet container.
   int64_t non_key_insert_attempts = 0;

@@ -57,6 +57,7 @@ void AccumulateStats(const GordianStats& from, GordianStats* into) {
   into->single_entity_prunes += from.single_entity_prunes;
   into->futility_prunes += from.futility_prunes;
   into->futility_snapshot_prunes += from.futility_snapshot_prunes;
+  into->warm_start_prunes += from.warm_start_prunes;
   into->non_key_insert_attempts += from.non_key_insert_attempts;
   into->non_keys_rejected_covered += from.non_keys_rejected_covered;
   into->non_keys_evicted += from.non_keys_evicted;
@@ -90,6 +91,19 @@ ParallelTraversalResult ParallelFindNonKeysImpl(
     w.set = std::make_unique<NonKeySet>(&w.stats);
   }
 
+  // Warm-start cover shared read-only across workers (concurrent CoversSet
+  // probes against an immutable set are safe). The seeds also go into the
+  // union set below so the final antichain — and hence the derived keys —
+  // is identical to an unseeded run.
+  const std::vector<AttributeSet>* warm_seeds = options.warm_start_non_keys;
+  const bool warm = warm_seeds != nullptr && !warm_seeds->empty();
+  NonKeySet warm_set(nullptr);
+  if (warm) {
+    for (const AttributeSet& nk : *warm_seeds) warm_set.Insert(nk);
+    stats->warm_start_seeds +=
+        static_cast<int64_t>(warm_seeds->size());
+  }
+
   FutilityBoard board(threads);
   Stopwatch phase_watch;
   std::atomic<int> next_slice{0};
@@ -108,6 +122,7 @@ ParallelTraversalResult ParallelFindNonKeysImpl(
     Finder finder(tree, options, self.set.get(), &self.stats);
     finder.SetMergePool(self.pool.get());
     finder.SetExternalStop(&stop);
+    if (warm) finder.SetWarmCover(&warm_set);
     finder.StartBudgetClock(phase_watch.ElapsedSeconds());
 
     uint64_t published_rev = 0;
@@ -164,7 +179,12 @@ ParallelTraversalResult ParallelFindNonKeysImpl(
 
   // Deterministic merge, worker order. The union's antichain is the same
   // whatever the insertion order; iterating workers in index order keeps the
-  // aggregation reproducible all the same.
+  // aggregation reproducible all the same. Warm seeds go in first: they are
+  // genuine non-keys and must appear in the union for the regions the warm
+  // cover pruned away.
+  if (warm) {
+    for (const AttributeSet& nk : *warm_seeds) merged->Insert(nk);
+  }
   bool any_aborted = false;
   for (Worker& w : workers) {
     any_aborted = any_aborted || w.aborted;
@@ -198,6 +218,7 @@ ParallelTraversalResult ParallelFindNonKeysImpl(
   // does — unless the caller supplied a private pool (shared-tree runs).
   Finder root_finder(tree, options, merged, stats);
   if (root_merge_pool != nullptr) root_finder.SetMergePool(root_merge_pool);
+  if (warm) root_finder.SetWarmCover(&warm_set);
   root_finder.StartBudgetClock(phase_watch.ElapsedSeconds());
   if (!root_finder.RunRootMerge()) {
     result.aborted = true;

@@ -265,10 +265,26 @@ Status SerialTraversalStage::Run(ProfileContext* ctx) {
   Stopwatch watch;
   KeyDiscoveryResult& result = ctx->result;
   NonKeySet non_key_set(&result.stats);
+  // Warm start (incremental re-profiles): the prior run's non-keys are
+  // genuine non-keys of the appended table, so they seed the working set —
+  // keeping the final antichain complete — and double as a read-only cover
+  // the futility test consults first, pruning already-settled regions.
+  const std::vector<AttributeSet>* warm_seeds =
+      ctx->options.warm_start_non_keys;
+  const bool warm = warm_seeds != nullptr && !warm_seeds->empty();
+  NonKeySet warm_set(nullptr);
+  if (warm) {
+    for (const AttributeSet& nk : *warm_seeds) {
+      warm_set.Insert(nk);
+      non_key_set.Insert(nk);
+    }
+    result.stats.warm_start_seeds += static_cast<int64_t>(warm_seeds->size());
+  }
   if (ctx->frozen != nullptr) {
     FrozenNonKeyFinder finder(*ctx->frozen, ctx->options, &non_key_set,
                               &result.stats);
     finder.SetMergePool(FrozenMergePool(ctx));
+    if (warm) finder.SetWarmCover(&warm_set);
     result.stats.frozen_traversal_used = true;
     result.incomplete = !finder.Run();
     result.incomplete_reason = finder.abort_reason();
@@ -279,6 +295,7 @@ Status SerialTraversalStage::Run(ProfileContext* ctx) {
     // will reuse it), so merge intermediates go to a private pool — the
     // same discipline parallel workers already follow.
     if (ctx->tree_external) finder.SetMergePool(&ctx->external_merge_pool);
+    if (warm) finder.SetWarmCover(&warm_set);
     result.incomplete = !finder.Run();
     result.incomplete_reason = finder.abort_reason();
   }

@@ -43,6 +43,15 @@ std::string FormatServiceMetrics(const ServiceMetrics::Snapshot& s) {
     line("shards recovered", s.shards_recovered);
     line("shards quarantined", s.shards_quarantined);
   }
+  if (s.appends > 0) {
+    line("appends", s.appends);
+    line("append absorbs", s.append_absorbs);
+    line("delta rows", s.delta_rows);
+    line("warm-start prunes", s.warm_start_prunes);
+    std::snprintf(buf, sizeof(buf), "  %-18s %.3f ms\n", "refreeze wall",
+                  s.refreeze_seconds * 1e3);
+    out += buf;
+  }
   if (s.ingest_batches > 0) {
     line("ingest batches", s.ingest_batches);
     line("ingest rows", s.ingest_rows);

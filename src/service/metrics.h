@@ -59,6 +59,20 @@ class ServiceMetrics {
     shards_quarantined_.fetch_add(shards_quarantined, kRelaxed);
   }
 
+  // One AppendAndReprofile call: the delta's row count, whether the batch
+  // was absorbed into a leased cached tree (vs. a full rebuild fallback),
+  // how many futility prunes the warm-start seeds earned in the
+  // re-traversal, and the wall clock of the re-freeze pass.
+  void OnAppend(int64_t delta_rows, bool tree_absorbed,
+                int64_t warm_start_prunes, double refreeze_seconds) {
+    appends_.fetch_add(1, kRelaxed);
+    delta_rows_.fetch_add(delta_rows, kRelaxed);
+    if (tree_absorbed) append_absorbs_.fetch_add(1, kRelaxed);
+    warm_start_prunes_.fetch_add(warm_start_prunes, kRelaxed);
+    refreeze_micros_.fetch_add(
+        static_cast<int64_t>(refreeze_seconds * 1e6), kRelaxed);
+  }
+
   // One CSV ingest's batch accounting (see IngestStats): RowBatches
   // scanned, rows they carried, and their columnar payload bytes.
   void OnIngest(int64_t batches, int64_t rows, int64_t bytes) {
@@ -140,6 +154,11 @@ class ServiceMetrics {
     int64_t catalog_flush_bytes = 0;
     int64_t shards_recovered = 0;
     int64_t shards_quarantined = 0;
+    int64_t appends = 0;
+    int64_t append_absorbs = 0;
+    int64_t delta_rows = 0;
+    int64_t warm_start_prunes = 0;
+    double refreeze_seconds = 0;
     int64_t ingest_batches = 0;
     int64_t ingest_rows = 0;
     int64_t ingest_bytes = 0;
@@ -222,6 +241,12 @@ class ServiceMetrics {
     s.catalog_flush_bytes = catalog_flush_bytes_.load(kRelaxed);
     s.shards_recovered = shards_recovered_.load(kRelaxed);
     s.shards_quarantined = shards_quarantined_.load(kRelaxed);
+    s.appends = appends_.load(kRelaxed);
+    s.append_absorbs = append_absorbs_.load(kRelaxed);
+    s.delta_rows = delta_rows_.load(kRelaxed);
+    s.warm_start_prunes = warm_start_prunes_.load(kRelaxed);
+    s.refreeze_seconds =
+        static_cast<double>(refreeze_micros_.load(kRelaxed)) * 1e-6;
     s.ingest_batches = ingest_batches_.load(kRelaxed);
     s.ingest_rows = ingest_rows_.load(kRelaxed);
     s.ingest_bytes = ingest_bytes_.load(kRelaxed);
@@ -279,6 +304,11 @@ class ServiceMetrics {
   std::atomic<int64_t> catalog_flush_bytes_{0};
   std::atomic<int64_t> shards_recovered_{0};
   std::atomic<int64_t> shards_quarantined_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> append_absorbs_{0};
+  std::atomic<int64_t> delta_rows_{0};
+  std::atomic<int64_t> warm_start_prunes_{0};
+  std::atomic<int64_t> refreeze_micros_{0};
   std::atomic<int64_t> ingest_batches_{0};
   std::atomic<int64_t> ingest_rows_{0};
   std::atomic<int64_t> ingest_bytes_{0};

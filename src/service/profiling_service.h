@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "core/gordian.h"
+#include "core/incremental.h"
 #include "core/streaming.h"
 #include "service/catalog_store.h"
 #include "service/job_scheduler.h"
@@ -94,6 +95,22 @@ struct ProfileJobOptions {
   bool use_tree_cache = true;
 };
 
+// Result of one AppendAndReprofile call.
+struct AppendOutcome {
+  // Content fingerprint of the table after the delta — the handle for the
+  // next append in the chain, and the key the updated result was catalogued
+  // under.
+  uint64_t fingerprint = 0;
+  // True when the delta was absorbed into the cached prefix tree in place;
+  // false when the tree was unavailable (cache disabled, evicted, or leased
+  // by a concurrent run) and discovery rebuilt from a snapshot instead.
+  bool tree_absorbed = false;
+  // Wall clock spent re-freezing the absorbed tree (0 when the frozen
+  // layout is disabled or the rebuild path ran).
+  double refreeze_seconds = 0;
+  KeyDiscoveryResult result;
+};
+
 // Everything known about a finished job. For coalesced submissions the
 // result/fingerprint are the primary job's.
 struct ProfileOutcome {
@@ -160,6 +177,34 @@ class ProfilingService {
   // Blocks until every accepted job is terminal.
   void WaitAll();
 
+  // Registers `table` as the base of an appendable chain and profiles it
+  // synchronously (through the tree cache, so the base tree is resident for
+  // the first append to absorb into). The chain's handle — the table's
+  // content fingerprint — is returned through *fingerprint (optional; it
+  // also lands in the catalog like any completed job). `options` is pinned
+  // for the chain's lifetime and must not require the raw table on every
+  // run: sampling and null-excluding semantics are rejected with
+  // InvalidArgument. The caller's `table` is deep-copied into append state
+  // and may be dropped afterwards.
+  Status RegisterAppendable(const std::string& name, const Table& table,
+                            const GordianOptions& options = {},
+                            uint64_t* fingerprint = nullptr);
+
+  // Appends `batch` to the chain currently headed by `fingerprint` and
+  // brings its discovery result current, synchronously. The fast path
+  // acquires the chain's cached prefix tree under an exclusive lease,
+  // absorbs the delta in place, re-traverses warm-started from the prior
+  // non-keys, and rekeys the cache entry to the new fingerprint — the lease
+  // is held throughout, so a concurrent read-only Profile of the old
+  // fingerprint busy-misses rather than observing a half-absorbed tree.
+  // When the tree is unavailable the chain re-profiles a snapshot (still
+  // warm-started). Appends to the same chain serialize; `fingerprint` must
+  // be the chain's current head (the value the previous call returned) —
+  // a stale handle fails with FailedPrecondition, an unknown one with
+  // NotFound. Complete results are catalogued under the new fingerprint.
+  Status AppendAndReprofile(uint64_t fingerprint, const RowBatch& batch,
+                            AppendOutcome* out = nullptr);
+
   // The catalog in use (the service's own, or ServiceOptions::catalog).
   KeyCatalog& catalog() { return *catalog_; }
 
@@ -207,6 +252,19 @@ class ProfilingService {
     KeyDiscoveryResult result;
   };
 
+  // One registered append chain. `chain_mu` serializes appends; the
+  // registry map (appendables_, under append_mu_) is keyed by the chain's
+  // current head fingerprint and rekeyed after every successful append.
+  struct Appendable {
+    std::string name;
+    GordianOptions options;
+    AppendState state;
+    // Non-keys of the last COMPLETE run — the warm-start seed for the next
+    // append (sound because appends never retract a non-key).
+    std::vector<AttributeSet> last_non_keys;
+    std::mutex chain_mu;
+  };
+
   void RunTableJob(Record* rec, const ProfileJobOptions& options,
                    const JobContext& ctx);
   void RunCsvJob(Record* rec, const std::string& path,
@@ -237,6 +295,9 @@ class ProfilingService {
   int64_t unflushed_puts_ = 0;
   bool stop_flusher_ = false;
   std::thread flusher_;
+
+  mutable std::mutex append_mu_;  // guards appendables_
+  std::unordered_map<uint64_t, std::shared_ptr<Appendable>> appendables_;
 
   mutable std::mutex mu_;  // guards records_, inflight_, next_alias_id_
   std::map<JobId, std::shared_ptr<Record>> records_;

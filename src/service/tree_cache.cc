@@ -156,6 +156,53 @@ TreeArtifactCache::Lease TreeArtifactCache::Insert(
   return lease;
 }
 
+void TreeArtifactCache::Rekey(Lease& lease, const TreeCacheKey& new_key,
+                              std::unique_ptr<FrozenTree> refrozen) {
+  if (!lease.valid() || lease.cache_ != this) return;
+  EntryPtr entry = lease.entry_;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Unlink the old key's slot. The entry itself lives on through the lease.
+  if (entry->resident) {
+    auto it = entries_.find(entry->key);
+    resident_bytes_ -= entry->bytes;
+    lru_.erase(entry->lru_it);
+    entries_.erase(it);
+    entry->resident = false;
+  }
+  if (refrozen != nullptr) stats_.frozen_bytes += refrozen->ApproxBytes();
+  entry->key = new_key;
+  entry->frozen = std::move(refrozen);
+  entry->bytes = entry->tree->pool().current_bytes();
+  if (entry->frozen != nullptr) entry->bytes += entry->frozen->ApproxBytes();
+  ++stats_.rekeys;
+
+  // Re-admit under the new key, mirroring Insert's existing-entry handling.
+  auto it = entries_.find(new_key);
+  bool admit = entry->bytes <= byte_budget_;
+  if (it != entries_.end()) {
+    if (it->second->leased) {
+      admit = false;
+    } else if (admit) {
+      resident_bytes_ -= it->second->bytes;
+      lru_.erase(it->second->lru_it);
+      it->second->resident = false;
+      entries_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+  if (admit) {
+    lru_.push_front(new_key);
+    entry->lru_it = lru_.begin();
+    entry->resident = true;
+    entries_.emplace(new_key, entry);
+    resident_bytes_ += entry->bytes;
+    ++stats_.insertions;
+    EvictToBudget();
+  } else {
+    ++stats_.rejected;
+  }
+}
+
 void TreeArtifactCache::ReleaseEntry(const EntryPtr& entry) {
   std::lock_guard<std::mutex> lock(mu_);
   entry->leased = false;

@@ -128,6 +128,21 @@ class TreeArtifactCache {
   Lease Insert(const TreeCacheKey& key, std::unique_ptr<PrefixTree> tree,
                std::unique_ptr<FrozenTree> frozen = nullptr);
 
+  // Lease upgrade for appends: re-registers `lease`'s entry under `new_key`
+  // (the fingerprint after a delta was absorbed into the leased tree),
+  // replaces its frozen artifact with `refrozen` (may be null — e.g.
+  // freezing disabled), and re-measures its bytes. The old key's resident
+  // slot is unlinked; the entry is re-admitted under the new key when it
+  // fits the budget, following Insert's existing-entry discipline (an
+  // unleased twin is replaced; a leased twin keeps this entry lease-only).
+  //
+  // The lease stays valid and exclusive throughout, which is the
+  // no-half-absorbed-tree guarantee: while the absorb ran, concurrent
+  // Acquires of the old key busy-missed (entry leased); once rekeyed, the
+  // old key is simply absent. No reader can ever lease the tree in between.
+  void Rekey(Lease& lease, const TreeCacheKey& new_key,
+             std::unique_ptr<FrozenTree> refrozen);
+
   bool Contains(const TreeCacheKey& key) const;
   void Clear();  // drops all unleased entries
 
@@ -139,6 +154,7 @@ class TreeArtifactCache {
     int64_t busy_misses = 0;  // present but leased elsewhere
     int64_t insertions = 0;   // admitted entries
     int64_t rejected = 0;     // built trees not admitted (too big / key busy)
+    int64_t rekeys = 0;       // lease upgrades (absorbed appends)
     int64_t evictions = 0;
     int64_t entries = 0;      // resident now
     int64_t bytes = 0;        // resident now, per NodePool accounting

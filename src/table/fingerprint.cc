@@ -4,25 +4,44 @@
 
 namespace gordian {
 
-uint64_t TableFingerprint(const Table& table) {
+uint64_t FingerprintAccumulator::Fingerprint() const {
   uint64_t h = 0x474f5244u;  // "GORD"
-  h = HashCombine(h, static_cast<uint64_t>(table.num_columns()));
-  h = HashCombine(h, static_cast<uint64_t>(table.num_rows()));
+  h = HashCombine(h, static_cast<uint64_t>(columns_.size()));
+  h = HashCombine(h, static_cast<uint64_t>(num_rows_));
+  for (const ColumnChain& col : columns_) {
+    uint64_t ch = col.name_hash;
+    ch = HashCombine(ch, col.dict_size);
+    ch = HashCombine(ch, col.dict_chain);
+    ch = HashCombine(ch, col.code_chain);
+    h = HashCombine(h, ch);
+  }
+  return h;
+}
+
+FingerprintAccumulator FingerprintAccumulator::FromTable(const Table& table) {
+  FingerprintAccumulator acc;
+  acc.columns_.resize(static_cast<size_t>(table.num_columns()));
+  acc.num_rows_ = table.num_rows();
   for (int c = 0; c < table.num_columns(); ++c) {
-    h = HashCombine(h, HashBytes(table.schema().name(c)));
+    ColumnChain& col = acc.columns_[static_cast<size_t>(c)];
+    col.name_hash = HashBytes(table.schema().name(c));
     const Dictionary& dict = table.dictionary(c);
-    h = HashCombine(h, dict.size());
+    col.dict_size = dict.size();
     // Dictionary values in code order pin the meaning of every code; the
     // code vector then pins the actual cell contents. Hashing the values
     // once here (instead of per cell) keeps the pass O(rows) per column.
     for (uint32_t code = 0; code < dict.size(); ++code) {
-      h = HashCombine(h, dict.Decode(code).Hash());
+      col.dict_chain = HashCombine(col.dict_chain, dict.Decode(code).Hash());
     }
     for (uint32_t code : table.column_codes(c)) {
-      h = HashCombine(h, code);
+      col.code_chain = HashCombine(col.code_chain, code);
     }
   }
-  return h;
+  return acc;
+}
+
+uint64_t TableFingerprint(const Table& table) {
+  return FingerprintAccumulator::FromTable(table).Fingerprint();
 }
 
 }  // namespace gordian

@@ -2,7 +2,9 @@
 #define GORDIAN_TABLE_FINGERPRINT_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/hashing.h"
 #include "table/table.h"
 
 namespace gordian {
@@ -19,9 +21,62 @@ namespace gordian {
 // rows) perturbs it. The key catalog uses this as its cache key: a matching
 // fingerprint means the stored discovery result is valid for the table.
 //
+// The hash is append-composable: each column carries two independent
+// chains — dictionary values folded in code order, and codes folded in row
+// order — that are only combined with the schema and row count when the
+// final fingerprint is requested. Appending rows only extends the chains,
+// so FingerprintAccumulator below reproduces TableFingerprint of the
+// concatenated table in O(delta) per batch.
+//
 // Cost is one pass over the codes, O(rows x columns) with a trivial
 // constant — orders of magnitude cheaper than discovery itself.
 uint64_t TableFingerprint(const Table& table);
+
+// Incrementally maintained table fingerprint. Seed it from a base table
+// (one O(rows x columns) pass), then feed it exactly what the encoder
+// produces for each appended row: an AbsorbDictValue call whenever a
+// column dictionary grows by one value, an AbsorbCode call per cell, and
+// one AddRows per batch. Fingerprint() then equals TableFingerprint of the
+// base table with all absorbed rows appended.
+class FingerprintAccumulator {
+ public:
+  FingerprintAccumulator() = default;
+
+  // Seeds the accumulator so Fingerprint() == TableFingerprint(table).
+  static FingerprintAccumulator FromTable(const Table& table);
+
+  // Extends column `c`'s dictionary chain with the hash of the value just
+  // appended to its dictionary (i.e. Decode(new_code).Hash()). Must be
+  // called in code order, exactly once per new dictionary entry.
+  void AbsorbDictValue(int c, uint64_t value_hash) {
+    ColumnChain& col = columns_[static_cast<size_t>(c)];
+    col.dict_chain = HashCombine(col.dict_chain, value_hash);
+    ++col.dict_size;
+  }
+
+  // Extends column `c`'s code chain with the next row's code.
+  void AbsorbCode(int c, uint32_t code) {
+    ColumnChain& col = columns_[static_cast<size_t>(c)];
+    col.code_chain = HashCombine(col.code_chain, code);
+  }
+
+  void AddRows(int64_t n) { num_rows_ += n; }
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  uint64_t Fingerprint() const;
+
+ private:
+  struct ColumnChain {
+    uint64_t name_hash = 0;
+    uint64_t dict_size = 0;
+    uint64_t dict_chain = 0;
+    uint64_t code_chain = 0;
+  };
+  std::vector<ColumnChain> columns_;
+  int64_t num_rows_ = 0;
+};
 
 }  // namespace gordian
 
