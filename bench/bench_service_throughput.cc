@@ -456,10 +456,16 @@ int main(int argc, char** argv) {
                                              repeats, /*tree_cache_bytes=*/0);
   // Budget sized to the working set: all tables' trees must stay resident,
   // or the round-robin waves thrash the LRU (each wave evicts exactly the
-  // tree the next wave needs, and the hit rate collapses to zero).
+  // tree the next wave needs, and the hit rate collapses to zero). An
+  // entry's charge covers the mutable tree pool AND its frozen layout
+  // (~52 MB at 80k rows since freeze-on-insert landed), so the default
+  // budget is sized at ~4 GiB for the default 24 tables rather than the
+  // old 1 GiB, which silently started thrashing once frozen bytes were
+  // added to the accounting.
+  const int64_t tree_cache_mb = flags.GetInt("tree_cache_mb", 4096);
   const RepeatedRun warm = RunRepeatedTables(amort_tables, max_threads,
                                              repeats,
-                                             /*tree_cache_bytes=*/1LL << 30);
+                                             tree_cache_mb * (1LL << 20));
 
   const double jobs = static_cast<double>(num_tables) * repeats;
   SeriesPrinter rp({"configuration", "seconds", "jobs/sec", "tree hit rate",

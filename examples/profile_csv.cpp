@@ -13,15 +13,21 @@
 //     --spill_dir=path   scratch directory for spilled columns (created if
 //                        missing; defaults to gordian_spill/ in the working
 //                        directory when --memory_budget is set)
+//     --schema           treat the files as one schema: after per-table key
+//                        discovery, emit cross-table foreign-key candidates
+//                        and top FDs (SchemaProfiler; multi-file mode only)
 //
 // One file is profiled inline with a detailed report. Several files are
-// profiled concurrently through the ProfilingService, one job per file.
+// profiled concurrently through the ProfilingService, one job per file —
+// or, with --schema, loaded and handed to SchemaProfiler as a schema.
 // With no arguments a demo catalog CSV is generated into the working
 // directory and profiled, so the example is runnable out of the box.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/fault_fs.h"
@@ -31,6 +37,7 @@
 #include "datagen/opic_like.h"
 #include "service/metrics.h"
 #include "service/profiling_service.h"
+#include "service/schema_profiler.h"
 #include "table/csv.h"
 #include "table/table.h"
 
@@ -151,11 +158,87 @@ int ProfileManyFiles(const std::vector<std::string>& paths,
   return failures == 0 ? 0 : 1;
 }
 
+std::string TableNameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+// --schema: the files are one schema. Tables are loaded up front (spill
+// policy applies per file), then a single SchemaProfiler pass discovers
+// keys, top FDs, and cross-table foreign-key candidates.
+int ProfileSchemaFiles(const std::vector<std::string>& paths,
+                       const gordian::GordianOptions& options, int threads,
+                       const gordian::SpillPolicy& spill) {
+  using namespace gordian;
+  std::vector<std::unique_ptr<Table>> owned;
+  std::vector<std::pair<std::string, const Table*>> tables;
+  for (const std::string& path : paths) {
+    auto table = std::make_unique<Table>();
+    Status s = ReadCsv(path, CsvOptions{}, spill, table.get());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    owned.push_back(std::move(table));
+    tables.emplace_back(TableNameOf(path), owned.back().get());
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = threads;
+  ProfilingService service(service_options);
+  SchemaProfiler profiler(&service);
+  SchemaProfileOptions schema_options;
+  schema_options.job.gordian = options;
+  SchemaReport report;
+  (void)profiler.Profile(tables, schema_options, &report);
+
+  for (const SchemaReport::TableEntry& e : report.tables) {
+    std::printf("%-32s %8lld rows  %2d cols  %zu key(s)%s\n", e.name.c_str(),
+                static_cast<long long>(e.table->num_rows()),
+                e.table->num_columns(), e.result.keys.size(),
+                e.result.no_keys ? " [duplicate rows: no keys]" : "");
+    for (size_t f = 0; f < e.fds.size() && f < 3; ++f) {
+      std::printf("    fd: %s -> %s  (redundancy %.3f)\n",
+                  e.table->schema().Describe(e.fds[f].lhs).c_str(),
+                  e.table->schema().name(e.fds[f].rhs).c_str(),
+                  e.fds[f].redundancy);
+    }
+  }
+  std::printf("\n%zu foreign-key candidate(s):\n", report.foreign_keys.size());
+  for (const ForeignKeyCandidate& fk : report.foreign_keys) {
+    const auto& from = report.tables[fk.referencing_table];
+    const auto& to = report.tables[fk.referenced_table];
+    std::string cols;
+    for (size_t i = 0; i < fk.foreign_key_columns.size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += from.table->schema().name(fk.foreign_key_columns[i]);
+    }
+    std::printf("  %s(%s) -> %s%s  coverage=%.3f\n", from.name.c_str(),
+                cols.c_str(), to.name.c_str(),
+                to.table->schema().Describe(fk.referenced_key).c_str(),
+                fk.coverage);
+  }
+  std::printf("\nstage timings: keys %.3fs  fds %.3fs  fks %.3fs\n",
+              report.key_seconds, report.fd_seconds, report.fk_seconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gordian::Flags flags(argc, argv);
   std::vector<std::string> paths = flags.positional();
+  // "--schema file.csv" (no "="): the parser cannot tell a boolean switch
+  // from a value flag and consumes the file as the switch's value; reclaim
+  // it as the leading path.
+  const bool schema_mode = flags.GetBool("schema", false);
+  const std::string schema_value = flags.GetString("schema");
+  if (schema_mode && schema_value != "true" && schema_value != "1") {
+    paths.insert(paths.begin(), schema_value);
+  }
   if (paths.empty()) paths.push_back(EnsureDemoCsv());
 
   gordian::GordianOptions options;
@@ -175,6 +258,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.GetBool("schema", false)) {
+    return ProfileSchemaFiles(paths, options, flags.ThreadCount(), spill);
+  }
   if (paths.size() == 1) {
     return ProfileOneFile(paths[0], options, spill);
   }

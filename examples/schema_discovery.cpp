@@ -1,12 +1,15 @@
 // schema_discovery: the full metadata-discovery pipeline on a directory of
 // exported files — the "automating the data-integration process" scenario
 // from the paper's introduction. Loads every input (CSV or XML collection),
-// discovers keys per table and foreign keys across tables, and writes a
-// JSON profile plus a Graphviz ER diagram.
+// hands the whole schema to the service-layer SchemaProfiler (per-table key
+// discovery as scheduler jobs, ranked top-k FDs, dictionary-first foreign
+// keys fanned across the pool), and writes a JSON profile plus a Graphviz
+// ER diagram.
 //
 // Usage:
-//   ./build/examples/schema_discovery [files...] [--sample=N]
+//   ./build/examples/schema_discovery [files...] [--sample=N] [--threads=N]
 //       [--json=profile.json] [--dot=schema.dot] [--min-coverage=1.0]
+//       [--report-dir=DIR] [--legacy-fk]
 //
 // With no inputs a demo TPC-H-like database is generated and profiled.
 
@@ -19,6 +22,7 @@
 #include "common/flags.h"
 #include "core/report.h"
 #include "datagen/tpch_lite.h"
+#include "service/schema_profiler.h"
 #include "table/csv.h"
 #include "table/xml_lite.h"
 
@@ -67,20 +71,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Profile: keys per table, then inclusion dependencies across tables.
-  GordianOptions options;
-  options.sample_rows = flags.GetInt("sample", 0);
-  ForeignKeyOptions fk_options;
-  fk_options.min_coverage = flags.GetDouble("min-coverage", 1.0);
-  fk_options.min_distinct_values = flags.GetInt("min-distinct", 20);
-  fk_options.min_referenced_coverage =
+  // One SchemaProfiler pass: keys, FDs, and foreign keys across the pool.
+  ServiceOptions service_options;
+  service_options.num_threads = flags.ThreadCount();
+  ProfilingService service(service_options);
+  SchemaProfiler profiler(&service);
+
+  SchemaProfileOptions options;
+  options.job.gordian.sample_rows = flags.GetInt("sample", 0);
+  options.fk.min_coverage = flags.GetDouble("min-coverage", 1.0);
+  options.fk.min_distinct_values = flags.GetInt("min-distinct", 20);
+  options.fk.min_referenced_coverage =
       flags.GetDouble("min-ref-coverage", 0.3);
-  DatabaseProfile profile = ProfileDatabase(tables, options,
-                                            /*discover_foreign_keys=*/true,
-                                            fk_options);
+  options.fk.dictionary_first = !flags.GetBool("legacy-fk", false);
+  options.report_dir = flags.GetString("report-dir", "");
+
+  SchemaReport report;
+  Status status = profiler.Profile(tables, options, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: report not persisted: %s\n",
+                 status.ToString().c_str());
+  }
 
   // Console summary.
-  for (const DatabaseProfile::Entry& e : profile.tables) {
+  for (const SchemaReport::TableEntry& e : report.tables) {
     std::printf("%-12s %8lld rows  %2d attrs  ", e.name.c_str(),
                 static_cast<long long>(e.table->num_rows()),
                 e.table->num_columns());
@@ -94,11 +108,17 @@ int main(int argc, char** argv) {
                     : e.table->schema()
                           .Describe(e.result.keys.front().attrs)
                           .c_str());
+    for (size_t f = 0; f < e.fds.size() && f < 3; ++f) {
+      const FdCandidate& fd = e.fds[f];
+      std::printf("    fd: %s -> %s  (redundancy %.3f)\n",
+                  e.table->schema().Describe(fd.lhs).c_str(),
+                  e.table->schema().name(fd.rhs).c_str(), fd.redundancy);
+    }
   }
-  std::printf("\n%zu foreign-key candidate(s)\n", profile.foreign_keys.size());
-  for (const ForeignKeyCandidate& fk : profile.foreign_keys) {
-    const auto& from = profile.tables[fk.referencing_table];
-    const auto& to = profile.tables[fk.referenced_table];
+  std::printf("\n%zu foreign-key candidate(s)\n", report.foreign_keys.size());
+  for (const ForeignKeyCandidate& fk : report.foreign_keys) {
+    const auto& from = report.tables[fk.referencing_table];
+    const auto& to = report.tables[fk.referenced_table];
     std::string cols;
     for (size_t i = 0; i < fk.foreign_key_columns.size(); ++i) {
       if (i > 0) cols += ", ";
@@ -109,8 +129,14 @@ int main(int argc, char** argv) {
                 to.table->schema().Describe(fk.referenced_key).c_str(),
                 fk.coverage, fk.referenced_coverage * 100);
   }
+  std::printf("\nstage timings: keys %.3fs  fds %.3fs  fks %.3fs\n",
+              report.key_seconds, report.fd_seconds, report.fk_seconds);
+  if (!report.report_path.empty()) {
+    std::printf("schema report: %s\n", report.report_path.c_str());
+  }
 
-  // Artifacts.
+  // Artifacts (the renderers consume the classic DatabaseProfile view).
+  DatabaseProfile profile = report.AsDatabaseProfile();
   std::string json_path = flags.GetString("json", "profile.json");
   std::string dot_path = flags.GetString("dot", "schema.dot");
   {

@@ -20,6 +20,21 @@ namespace gordian {
 // key K of a referenced table. Candidates are scored by coverage =
 // |distinct F-tuples that appear among K-tuples| / |distinct F-tuples|; a
 // strict inclusion dependency has coverage 1.
+//
+// NULL semantics follow SQL foreign keys: a referencing tuple containing a
+// NULL in any foreign-key column asserts nothing, so it is excluded from
+// the coverage denominator entirely (it is neither covered nor uncovered,
+// and does not count toward distinct_fk_tuples).
+//
+// Discovery is dictionary-first: candidate column pairs are pruned by
+// comparing per-column dictionaries (value type, then value-set containment
+// probed dictionary-to-dictionary) before any row is touched, and the
+// survivors are verified in code space — referencing codes are translated
+// through a dictionary-to-dictionary mapping and probed against the
+// referenced key's code tuples, streaming CodeColumn chunks so spilled
+// tables verify without residency. The original value-materializing path is
+// kept behind ForeignKeyOptions::dictionary_first = false as the
+// equivalence oracle: both paths produce identical candidate lists.
 
 struct ForeignKeyCandidate {
   int referencing_table = 0;  // index into the input table list
@@ -35,7 +50,7 @@ struct ForeignKeyCandidate {
   // share of the key's domain; a small integer column that merely falls
   // inside a dense surrogate-key range does not.
   double referenced_coverage = 0;
-  int64_t distinct_fk_tuples = 0;
+  int64_t distinct_fk_tuples = 0;  // NULL-free distinct tuples (denominator)
 };
 
 struct ForeignKeyOptions {
@@ -57,6 +72,12 @@ struct ForeignKeyOptions {
   // Candidates referencing less than this fraction of the key's values are
   // dropped (see ForeignKeyCandidate::referenced_coverage). 0 keeps all.
   double min_referenced_coverage = 0.0;
+
+  // Verification path. True (default): dictionary-first — prune by
+  // dictionary comparison, verify survivors over translated codes. False:
+  // the legacy path that decodes every row back into Values and hashes
+  // them; kept as the equivalence oracle (identical candidates either way).
+  bool dictionary_first = true;
 };
 
 // One profiled table: its data plus the keys GORDIAN discovered for it.
@@ -69,14 +90,36 @@ struct ProfiledTable {
 // Searches all ordered table pairs for inclusion dependencies from column
 // sets of the referencing table into discovered keys of the referenced
 // table. Self-references are allowed (hierarchies) but the identical column
-// set is excluded.
+// set is excluded. The result is in the documented total order (see
+// ForeignKeyCandidateLess), so it is byte-stable across runs and paths.
 std::vector<ForeignKeyCandidate> DiscoverForeignKeys(
     const std::vector<ProfiledTable>& tables,
     const ForeignKeyOptions& options = {});
 
+// One verification work unit: all candidate column tuples of
+// tables[referencing_table] checked against the single discovered key
+// `key` of tables[referenced_table]. DiscoverForeignKeys is exactly the
+// loop over every (referenced table, key, referencing table) unit followed
+// by SortForeignKeyCandidates; schedulers (service/schema_profiler.h) fan
+// these units across a thread pool and sort the concatenation to get the
+// identical list. Thread-safe for concurrent calls over the same tables
+// (only const Table accessors whose caches are pre-warmed or guarded).
+std::vector<ForeignKeyCandidate> VerifyForeignKeysAgainstKey(
+    const std::vector<ProfiledTable>& tables, int referencing_table,
+    int referenced_table, const AttributeSet& key,
+    const ForeignKeyOptions& options = {});
+
+// The documented total order over candidates: coverage descending, then
+// referencing table, referenced table, foreign-key columns, referenced key,
+// all ascending. No two distinct candidates compare equal, so a sorted
+// report is byte-stable regardless of discovery path or thread count.
+bool ForeignKeyCandidateLess(const ForeignKeyCandidate& a,
+                             const ForeignKeyCandidate& b);
+void SortForeignKeyCandidates(std::vector<ForeignKeyCandidate>* candidates);
+
 // Coverage of the inclusion fk_cols(fk_table) <= key_cols(key_table):
-// fraction of the referencing table's distinct fk tuples that occur among
-// the referenced table's key tuples. Exposed for tests.
+// fraction of the referencing table's distinct NULL-free fk tuples that
+// occur among the referenced table's key tuples. Exposed for tests.
 double InclusionCoverage(const Table& fk_table, const AttributeSet& fk_cols,
                          const Table& key_table, const AttributeSet& key_cols);
 

@@ -307,4 +307,25 @@ std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed) {
   return db;
 }
 
+std::vector<SchemaGroundTruthFk> BaseballLikeForeignKeys() {
+  return {
+      {"teams", {"manager_id"}, "players", {"player_id"}},
+      {"rosters", {"team_id"}, "teams", {"team_id"}},
+      {"rosters", {"player_id"}, "players", {"player_id"}},
+      {"batting", {"player_id"}, "players", {"player_id"}},
+      {"batting", {"team_id"}, "teams", {"team_id"}},
+      {"pitching", {"player_id"}, "players", {"player_id"}},
+      {"pitching", {"team_id"}, "teams", {"team_id"}},
+      {"games", {"home_team"}, "teams", {"team_id"}},
+      {"games", {"away_team"}, "teams", {"team_id"}},
+      {"awards", {"player_id"}, "players", {"player_id"}},
+      {"hall_of_fame", {"player_id"}, "players", {"player_id"}},
+      {"fielding", {"player_id"}, "players", {"player_id"}},
+      {"managers", {"team_id"}, "teams", {"team_id"}},
+      {"all_star", {"player_id"}, "players", {"player_id"}},
+      {"playoffs", {"home_team"}, "teams", {"team_id"}},
+      {"playoffs", {"away_team"}, "teams", {"team_id"}},
+  };
+}
+
 }  // namespace gordian

@@ -21,6 +21,10 @@ namespace gordian {
 // `scale` = 1.0 produces ~262k total tuples.
 std::vector<NamedTable> GenerateBaseballLike(double scale, uint64_t seed);
 
+// The foreign keys GenerateBaseballLike builds in by construction
+// (player/team references across the statistics and award tables).
+std::vector<SchemaGroundTruthFk> BaseballLikeForeignKeys();
+
 }  // namespace gordian
 
 #endif  // GORDIAN_DATAGEN_BASEBALL_LIKE_H_

@@ -249,4 +249,18 @@ Table GenerateTpchFact(int64_t num_rows, uint64_t seed) {
   return b.Build();
 }
 
+std::vector<SchemaGroundTruthFk> TpchLiteForeignKeys() {
+  return {
+      {"nation", {"n_regionkey"}, "region", {"r_regionkey"}},
+      {"supplier", {"s_nationkey"}, "nation", {"n_nationkey"}},
+      {"customer", {"c_nationkey"}, "nation", {"n_nationkey"}},
+      {"partsupp", {"ps_partkey"}, "part", {"p_partkey"}},
+      {"partsupp", {"ps_suppkey"}, "supplier", {"s_suppkey"}},
+      {"orders", {"o_custkey"}, "customer", {"c_custkey"}},
+      {"lineitem", {"l_orderkey"}, "orders", {"o_orderkey"}},
+      {"lineitem", {"l_partkey"}, "part", {"p_partkey"}},
+      {"lineitem", {"l_suppkey"}, "supplier", {"s_suppkey"}},
+  };
+}
+
 }  // namespace gordian

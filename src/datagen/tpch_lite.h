@@ -14,6 +14,17 @@ struct NamedTable {
   Table table;
 };
 
+// One known-by-construction foreign key of a generated schema, expressed in
+// names so it survives any table/column reordering. foreign_key_columns and
+// referenced_key_columns are paired position-wise. Used as ground truth for
+// the schema-discovery precision/recall measurement (bench/bench_schema).
+struct SchemaGroundTruthFk {
+  std::string referencing_table;
+  std::vector<std::string> foreign_key_columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_key_columns;
+};
+
 // From-scratch generator for the eight-table TPC-H schema shape (the
 // synthetic database of the paper's Table 1). Row counts scale with
 // `scale_factor` exactly as dbgen's do (lineitem ~ 6M rows/SF); SF 0.1
@@ -25,6 +36,10 @@ struct NamedTable {
 // lineitem, and realistic foreign-key/correlated columns (dates, prices,
 // statuses) so the discovered composite keys are non-trivial.
 std::vector<NamedTable> GenerateTpchLite(double scale_factor, uint64_t seed);
+
+// The foreign keys GenerateTpchLite builds in by construction (the TPC-H
+// referential structure over single-column primary keys).
+std::vector<SchemaGroundTruthFk> TpchLiteForeignKeys();
 
 // A single denormalized 17-column, (1,800,000 * scale)-row order-line fact
 // table: "a synthetic database with a schema similar to TPC-H; the largest

@@ -53,4 +53,21 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
   return BuildRecommendedIndexes(table, store, result);
 }
 
+std::vector<Planner> BuildRecommendedIndexes(
+    const SchemaReport& report, const std::vector<const RowStore*>& stores) {
+  std::vector<Planner> planners;
+  planners.reserve(report.tables.size());
+  for (size_t i = 0; i < report.tables.size(); ++i) {
+    const SchemaReport::TableEntry& entry = report.tables[i];
+    const RowStore* store = i < stores.size() ? stores[i] : nullptr;
+    if (store == nullptr || entry.table == nullptr) {
+      planners.emplace_back(std::vector<std::unique_ptr<CompositeIndex>>());
+      continue;
+    }
+    planners.push_back(
+        BuildRecommendedIndexes(*entry.table, *store, entry.result));
+  }
+  return planners;
+}
+
 }  // namespace gordian

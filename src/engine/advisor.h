@@ -8,6 +8,7 @@
 #include "engine/executor.h"
 #include "engine/row_store.h"
 #include "service/key_catalog.h"
+#include "service/schema_profiler.h"
 #include "service/tree_cache.h"
 
 namespace gordian {
@@ -36,6 +37,14 @@ Planner BuildRecommendedIndexes(const Table& table, const RowStore& store,
                                 KeyCatalog* catalog,
                                 const GordianOptions& options = {},
                                 TreeArtifactCache* tree_cache = nullptr);
+
+// Schema-wide variant: one SchemaProfiler pass advises every table. Returns
+// one Planner per report entry, in report order; stores[i] must be the row
+// store over report.tables[i].table (the discovered keys were computed from
+// exactly that data). A null store yields an index-less Planner for that
+// table.
+std::vector<Planner> BuildRecommendedIndexes(
+    const SchemaReport& report, const std::vector<const RowStore*>& stores);
 
 }  // namespace gordian
 

@@ -14,6 +14,7 @@ ProfilingService::ProfilingService(ServiceOptions options)
                       ? std::make_unique<TreeArtifactCache>(
                             options.tree_cache_bytes)
                       : nullptr),
+      catalog_dir_(options.catalog_dir),
       flush_every_puts_(options.flush_every_puts),
       scheduler_(options.num_threads) {
   ingest_spill_.memory_budget_bytes = options.spill_memory_budget;

@@ -238,6 +238,14 @@ class ProfilingService {
 
   int num_threads() const { return scheduler_.num_threads(); }
 
+  // The underlying scheduler, for composite front-ends (SchemaProfiler)
+  // that fan their own work units across the same pool.
+  JobScheduler& scheduler() { return scheduler_; }
+
+  // ServiceOptions::catalog_dir as configured (empty when persistence is
+  // off). SchemaProfiler drops its SchemaReport artifact next to it.
+  const std::string& catalog_dir() const { return catalog_dir_; }
+
  private:
   struct Record {
     std::string name;
@@ -287,6 +295,7 @@ class ProfilingService {
 
   // Durable catalog persistence (null / default-constructed when off).
   std::unique_ptr<CatalogStore> catalog_store_;
+  std::string catalog_dir_;
   RecoveryReport recovery_report_;
   int flush_every_puts_ = 0;
   mutable std::mutex flush_mu_;  // guards the three fields below
